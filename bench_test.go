@@ -1,0 +1,423 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md §4. Each benchmark times the
+// computation that regenerates the corresponding table; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce all of them, or cmd/paperbench to print the tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/heuristics"
+	"repro/internal/mapping"
+	"repro/internal/npc"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+	"repro/internal/sim"
+	"repro/internal/throughput"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1Fig34 regenerates the Figures 3-4 example: exhaustive
+// interval-latency optimization on the fully heterogeneous platform.
+func BenchmarkE1Fig34(b *testing.B) {
+	p, pl := workload.Fig34()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinLatencyInterval(p, pl, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Fig5 regenerates the Figure 5 example: exhaustive bi-criteria
+// optimization under the latency threshold 22.
+func BenchmarkE2Fig5(b *testing.B) {
+	p, pl := workload.Fig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinFPUnderLatency(p, pl, workload.Fig5LatencyThreshold,
+			exact.Options{MaxEnum: 20_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Fig5DP is the ablation partner of E2: the same Figure 5
+// optimum through the bitmask dynamic program (O(n²·3^m)) instead of full
+// mapping enumeration.
+func BenchmarkE2Fig5DP(b *testing.B) {
+	p, pl := workload.Fig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Fig5ParetoSeq and BenchmarkE2Fig5ParetoPar contrast the
+// sequential and parallel exhaustive Pareto enumerations on the Figure 5
+// instance (speedup scales with cores).
+func BenchmarkE2Fig5ParetoSeq(b *testing.B) {
+	p, pl := workload.Fig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: 20_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Fig5ParetoPar(b *testing.B) {
+	p, pl := workload.Fig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.ParetoFrontParallel(p, pl, exact.Options{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3MinFP times Theorem 1 (trivial, the baseline cost of the
+// routing layer).
+func BenchmarkE3MinFP(b *testing.B) {
+	p, pl := workload.Fig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.MinFailureProb(p, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4MinLatencyCommHom times Theorem 2.
+func BenchmarkE4MinLatencyCommHom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := workload.Random(rng, platform.CommHomogeneous, 16, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.MinLatencyCommHom(inst.Pipeline, inst.Platform); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5TSPReduction times a full Theorem 3 verification (gadget
+// construction + Held-Karp + one-to-one enumeration) on a 7-vertex
+// instance.
+func BenchmarkE5TSPReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 7
+	cost := make([][]float64, n)
+	for u := range cost {
+		cost[u] = make([]float64, n)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			c := float64(1 + rng.Intn(9))
+			cost[u][v], cost[v][u] = c, c
+		}
+	}
+	ti := &npc.TSPInstance{Cost: cost, S: 0, T: n - 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := npc.VerifyTSPReduction(ti, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6GeneralShortestPath times Theorem 4's layered DP at n=m=64.
+func BenchmarkE6GeneralShortestPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := pipeline.Random(rng, 64, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 64, 1, 10, 0, 1, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly.MinLatencyGeneral(p, pl)
+	}
+}
+
+// BenchmarkE6Dijkstra is the ablation partner of E6: same optimum through
+// the explicit layered graph and Dijkstra.
+func BenchmarkE6Dijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := pipeline.Random(rng, 64, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 64, 1, 10, 0, 1, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.BuildLayered(p, pl)
+		dist, _ := g.Dijkstra(graph.LayeredSource)
+		_ = dist[graph.LayeredSink(64, 64)]
+	}
+}
+
+// BenchmarkE7FullyHomBiCriteria times Algorithm 1 on a 1024-processor
+// fully homogeneous platform.
+func BenchmarkE7FullyHomBiCriteria(b *testing.B) {
+	p := pipeline.MustNew([]float64{1, 1}, []float64{4, 9, 4})
+	pl, err := platform.NewFullyHomogeneous(1024, 1, 2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.Algorithm1(p, pl, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8CommHomBiCriteria times Algorithm 3 on a 1024-processor
+// CommHom+FailureHom platform.
+func BenchmarkE8CommHomBiCriteria(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	speeds := make([]float64, 1024)
+	fps := make([]float64, 1024)
+	for i := range speeds {
+		speeds[i] = 1 + rng.Float64()*9
+		fps[i] = 0.4
+	}
+	pl, err := platform.NewCommHomogeneous(speeds, fps, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pipeline.MustNew([]float64{6, 4}, []float64{1, 2, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.Algorithm3(p, pl, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9PartitionReduction times a full Theorem 7 verification
+// (subset-sum DP + 2^m gadget evaluations) at m=14.
+func BenchmarkE9PartitionReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]int, 14)
+	for i := range a {
+		a[i] = 1 + rng.Intn(12)
+	}
+	pi := &npc.PartitionInstance{A: a}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := npc.VerifyPartitionReduction(pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Greedy and BenchmarkE10Anneal time the open-case heuristics
+// on a 6-stage, 20-processor CommHom+FailureHet instance.
+func BenchmarkE10Greedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	inst := workload.Random(rng, platform.CommHomogeneous, 6, 20)
+	fast, err := poly.MinLatencyCommHom(inst.Pipeline, inst.Platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := &heuristics.Problem{Pipe: inst.Pipeline, Plat: inst.Platform, Goal: heuristics.MinFP, Bound: fast.Metrics.Latency * 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.Greedy(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10Anneal(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	inst := workload.Random(rng, platform.CommHomogeneous, 6, 20)
+	fast, err := poly.MinLatencyCommHom(inst.Pipeline, inst.Platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := &heuristics.Problem{Pipe: inst.Pipeline, Plat: inst.Platform, Goal: heuristics.MinFP, Bound: fast.Metrics.Latency * 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fixed seed: identical deterministic work per iteration (a
+		// varying seed can hit a restart budget that misses feasibility).
+		if _, err := heuristics.Anneal(pr, heuristics.AnnealConfig{Seed: 3, Iters: 1000, Restarts: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11SimWorstCase times one worst-case simulation of the Fig5
+// split mapping; BenchmarkE11SimMonteCarlo one random-failure run;
+// BenchmarkE11EstimateFP a 10k-trial FP estimation.
+func BenchmarkE11SimWorstCase(b *testing.B) {
+	p, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, pl, m, sim.Config{Mode: sim.WorstCase}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11SimMonteCarlo(b *testing.B) {
+	p, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, pl, m, sim.Config{Mode: sim.MonteCarlo, RNG: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11EstimateFP(b *testing.B) {
+	_, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateFP(pl, m, 10_000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12JPEG times the full JPEG case-study solve (exact routing on
+// the 7-stage, 8-processor cluster).
+func BenchmarkE12JPEG(b *testing.B) {
+	tbl := func() { bench.E12JPEG() }
+	for i := 0; i < b.N; i++ {
+		tbl()
+	}
+}
+
+// BenchmarkE13ScalabilityDP128 times the layered DP at n=m=128.
+func BenchmarkE13ScalabilityDP128(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := pipeline.Random(rng, 128, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 128, 1, 10, 0, 1, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly.MinLatencyGeneral(p, pl)
+	}
+}
+
+// BenchmarkE13ScalabilityAlg1_4096 times Algorithm 1 at m=4096.
+func BenchmarkE13ScalabilityAlg1_4096(b *testing.B) {
+	p := pipeline.MustNew([]float64{2, 3}, []float64{1, 1, 1})
+	pl, err := platform.NewFullyHomogeneous(4096, 2, 2, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.Algorithm1(p, pl, 1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14ReplicationAblation times the k-sweep table (evaluation +
+// worst-case simulation for k = 1..8).
+func BenchmarkE14ReplicationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E14ReplicationAblation()
+	}
+}
+
+// BenchmarkE15TriCriteria times the exhaustive tri-criteria solver on the
+// E15 instance (future work §5).
+func BenchmarkE15TriCriteria(b *testing.B) {
+	p := pipeline.MustNew([]float64{20, 120, 30}, []float64{8, 6, 4, 2})
+	pl, err := platform.NewCommHomogeneous(
+		[]float64{10, 10, 10, 10, 10}, []float64{0.2, 0.2, 0.2, 0.2, 0.2}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := throughput.MinPeriodUnderConstraints(p, pl, 1e18, 0.2, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16PeriodEval times one period evaluation (the inner loop of
+// the tri-criteria solvers).
+func BenchmarkE16PeriodEval(b *testing.B) {
+	p, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := throughput.PeriodOverlap(p, pl, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16SimSteadyState times a 48-data-set streaming simulation.
+func BenchmarkE16SimSteadyState(b *testing.B) {
+	p, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, pl, m, sim.Config{Mode: sim.WorstCase, NumDataSets: 48}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17IntervalBounds times the polynomial bounds for the open
+// problem (shortest path + repair) at n=m=64.
+func BenchmarkE17IntervalBounds(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	p := pipeline.Random(rng, 64, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 64, 1, 10, 0, 1, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.IntervalLatencyBounds(p, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate times the analytic evaluators themselves (the inner
+// loop of every solver).
+func BenchmarkEvaluate(b *testing.B) {
+	p, pl := workload.Fig5()
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Evaluate(p, pl, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17BeamSearch times the beam-search heuristic for the open
+// problem at n=32, m=48 (beam width 16).
+func BenchmarkE17BeamSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	p := pipeline.Random(rng, 32, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 48, 1, 10, 0, 1, 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.BeamSearchMinLatency(p, pl, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	if len(experiments) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (E1..E17)", len(experiments))
+	}
+	seen := map[string]bool{}
+	for i, e := range experiments {
+		want := "E" + itoa(i+1)
+		if e.id != want {
+			t.Errorf("experiment %d has id %s, want %s", i, e.id, want)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.fn == nil || e.ttl == "" {
+			t.Errorf("%s incomplete", e.id)
+		}
+	}
+}
+
+// TestFastExperimentsRender runs the cheap experiments end to end through
+// the registry (the expensive ones are covered by internal/bench tests).
+func TestFastExperimentsRender(t *testing.T) {
+	for _, e := range experiments {
+		switch e.id {
+		case "E1", "E5", "E7", "E8", "E9", "E16":
+			tb := e.fn()
+			out := tb.String()
+			if !strings.Contains(out, e.id+":") {
+				t.Errorf("%s output missing header:\n%s", e.id, out)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,127 @@
+// Command pipemap solves a bi-criteria pipeline mapping problem described
+// in JSON and prints the mapping, its metrics, and the provenance of the
+// answer (which of the paper's algorithms produced it).
+//
+// Input format (stdin, or a file via -f):
+//
+//	{
+//	  "pipeline": {"w": [1, 100], "delta": [10, 1, 0]},
+//	  "platform": {
+//	    "speed": [1, 100], "failProb": [0.1, 0.8],
+//	    "b": [[0, 1], [1, 0]], "bIn": [1, 1], "bOut": [1, 1]
+//	  },
+//	  "objective": "minFailureProb",   // or "minLatency"
+//	  "maxLatency": 22,                // constraint (0 = none)
+//	  "maxFailProb": 0                 // constraint (0 or 1 = none)
+//	}
+//
+// Flags:
+//
+//	-f file      read the problem from a file instead of stdin
+//	-pareto      print the latency/FP Pareto front instead of one answer
+//	-general     print Theorem 4's latency-optimal general mapping too
+//	-heuristic   skip exact enumeration even on small instances
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+type problemJSON struct {
+	Pipeline    *pipeline.Pipeline `json:"pipeline"`
+	Platform    *platform.Platform `json:"platform"`
+	Objective   string             `json:"objective"`
+	MaxLatency  float64            `json:"maxLatency"`
+	MaxFailProb float64            `json:"maxFailProb"`
+}
+
+func main() {
+	file := flag.String("f", "", "problem JSON file (default: stdin)")
+	pareto := flag.Bool("pareto", false, "print the Pareto front")
+	general := flag.Bool("general", false, "also print the Theorem 4 general mapping")
+	heuristic := flag.Bool("heuristic", false, "force heuristic solving")
+	flag.Parse()
+
+	if err := run(*file, *pareto, *general, *heuristic); err != nil {
+		fmt.Fprintf(os.Stderr, "pipemap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, pareto, general, heuristic bool) error {
+	var in io.Reader = os.Stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var pj problemJSON
+	if err := json.NewDecoder(in).Decode(&pj); err != nil {
+		return fmt.Errorf("decoding problem: %w", err)
+	}
+	if pj.Pipeline == nil || pj.Platform == nil {
+		return errors.New("problem needs both \"pipeline\" and \"platform\"")
+	}
+	fmt.Printf("application: %s\n", pj.Pipeline)
+	fmt.Printf("platform:    %s\n", pj.Platform)
+
+	opts := core.Options{ForceHeuristic: heuristic}
+
+	if pareto {
+		front, cert, err := core.Pareto(pj.Pipeline, pj.Platform, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pareto front (%s, %d points):\n", cert, front.Len())
+		fmt.Printf("  %-14s %-14s mapping\n", "latency", "failureProb")
+		for _, e := range front.Entries() {
+			fmt.Printf("  %-14.6g %-14.6g %s\n", e.Metrics.Latency, e.Metrics.FailureProb, e.Mapping)
+		}
+		return nil
+	}
+
+	obj := core.MinimizeFailureProb
+	switch pj.Objective {
+	case "minLatency":
+		obj = core.MinimizeLatency
+	case "minFailureProb", "minFP", "":
+	default:
+		return fmt.Errorf("unknown objective %q (want minLatency or minFailureProb)", pj.Objective)
+	}
+	res, err := core.SolveWithOptions(core.Problem{
+		Pipeline:    pj.Pipeline,
+		Platform:    pj.Platform,
+		Objective:   obj,
+		MaxLatency:  pj.MaxLatency,
+		MaxFailProb: pj.MaxFailProb,
+	}, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("objective:   %s\n", obj)
+	fmt.Printf("mapping:     %s\n", res.Mapping)
+	fmt.Printf("latency:     %.6g\n", res.Metrics.Latency)
+	fmt.Printf("failureProb: %.6g\n", res.Metrics.FailureProb)
+	fmt.Printf("method:      %s (%s)\n", res.Method, res.Certainty)
+
+	if general {
+		g, err := core.MinLatencyGeneral(pj.Pipeline, pj.Platform)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("general mapping (Theorem 4): %s  latency %.6g\n", g.Mapping, g.Latency)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fig5Problem = `{
+  "pipeline": {"w": [1, 100], "delta": [10, 1, 0]},
+  "platform": {
+    "speed": [1, 100, 100], "failProb": [0.1, 0.8, 0.8],
+    "b": [[0, 1, 1], [1, 0, 1], [1, 1, 0]],
+    "bIn": [1, 1, 1], "bOut": [1, 1, 1]
+  },
+  "objective": "minFailureProb",
+  "maxLatency": 22
+}`
+
+func writeProblem(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "problem.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolve(t *testing.T) {
+	path := writeProblem(t, fig5Problem)
+	if err := run(path, false, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPareto(t *testing.T) {
+	path := writeProblem(t, fig5Problem)
+	if err := run(path, true, false, false); err != nil {
+		t.Fatalf("run -pareto: %v", err)
+	}
+}
+
+func TestRunGeneralAndHeuristic(t *testing.T) {
+	path := writeProblem(t, fig5Problem)
+	if err := run(path, false, true, true); err != nil {
+		t.Fatalf("run -general -heuristic: %v", err)
+	}
+}
+
+func TestRunMinLatencyObjective(t *testing.T) {
+	path := writeProblem(t, `{
+	  "pipeline": {"w": [1], "delta": [1, 1]},
+	  "platform": {"speed": [2], "failProb": [0.1], "b": [[0]], "bIn": [1], "bOut": [1]},
+	  "objective": "minLatency"
+	}`)
+	if err := run(path, false, false, false); err != nil {
+		t.Fatalf("run minLatency: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeProblem(t, `{not json`)
+	if err := run(bad, false, false, false); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	noPipe := writeProblem(t, `{"platform": {"speed": [1], "failProb": [0], "b": [[0]], "bIn": [1], "bOut": [1]}}`)
+	if err := run(noPipe, false, false, false); err == nil {
+		t.Error("problem without pipeline accepted")
+	}
+	badObjective := writeProblem(t, `{
+	  "pipeline": {"w": [1], "delta": [1, 1]},
+	  "platform": {"speed": [1], "failProb": [0], "b": [[0]], "bIn": [1], "bOut": [1]},
+	  "objective": "maximizeFun"
+	}`)
+	if err := run(badObjective, false, false, false); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	infeasible := writeProblem(t, `{
+	  "pipeline": {"w": [1, 100], "delta": [10, 1, 0]},
+	  "platform": {
+	    "speed": [1, 100], "failProb": [0.1, 0.8],
+	    "b": [[0, 1], [1, 0]], "bIn": [1, 1], "bOut": [1, 1]
+	  },
+	  "objective": "minFailureProb",
+	  "maxLatency": 0.5
+	}`)
+	if err := run(infeasible, false, false, false); err == nil {
+		t.Error("infeasible problem reported success")
+	}
+}

@@ -1,0 +1,197 @@
+// Command pipesim runs the discrete-event simulator on a mapped pipeline
+// workflow: worst-case adversarial mode (reproducing the paper's latency
+// formulas), Monte-Carlo crash sampling, or explicit failure injection.
+//
+// Input format (stdin, or a file via -f):
+//
+//	{
+//	  "pipeline": {"w": [...], "delta": [...]},
+//	  "platform": {...},
+//	  "mapping": {"intervals": [{"first":0,"last":0}], "alloc": [[0]]}
+//	}
+//
+// With no input (-demo), the paper's Figure 5 instance and its optimal
+// two-interval mapping are used.
+//
+// Flags:
+//
+//	-mode worst|mc   execution mode (default worst)
+//	-trials N        Monte-Carlo trials (default 1000, mc mode)
+//	-seed S          RNG seed (default 1)
+//	-datasets D      data sets streamed through the pipeline (default 1)
+//	-period P        release period between data sets (default 0)
+//	-timeout T       consensus dead-coordinator timeout (default 0)
+//	-msgsize X       consensus control message size (default 0)
+//	-kill 1,4,7      explicit failure injection (processor ids, 0-based)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type instanceJSON struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+	Mapping  *mapping.Mapping   `json:"mapping"`
+}
+
+func main() {
+	file := flag.String("f", "", "instance JSON file (default: stdin unless -demo)")
+	demo := flag.Bool("demo", false, "run the paper's Figure 5 instance")
+	mode := flag.String("mode", "worst", "worst | mc")
+	trials := flag.Int("trials", 1000, "Monte-Carlo trials")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	datasets := flag.Int("datasets", 1, "number of data sets")
+	period := flag.Float64("period", 0, "release period between data sets")
+	timeout := flag.Float64("timeout", 0, "consensus dead-coordinator timeout")
+	msgsize := flag.Float64("msgsize", 0, "consensus control message size")
+	kill := flag.String("kill", "", "comma-separated processor ids to fail")
+	trace := flag.Bool("trace", false, "print an ASCII Gantt chart of the run (worst/kill modes)")
+	flag.Parse()
+
+	if err := run(*file, *demo, *mode, *trials, *seed, *datasets, *period, *timeout, *msgsize, *kill, *trace); err != nil {
+		fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, demo bool, mode string, trials int, seed int64, datasets int, period, timeout, msgsize float64, kill string, trace bool) error {
+	var inst instanceJSON
+	if demo {
+		p, pl := workload.Fig5()
+		inst = instanceJSON{
+			Pipeline: p,
+			Platform: pl,
+			Mapping: &mapping.Mapping{
+				Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+				Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+			},
+		}
+	} else {
+		in := os.Stdin
+		if file != "" {
+			f, err := os.Open(file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := json.NewDecoder(in).Decode(&inst); err != nil {
+			return fmt.Errorf("decoding instance: %w", err)
+		}
+		if inst.Pipeline == nil || inst.Platform == nil || inst.Mapping == nil {
+			return errors.New("instance needs \"pipeline\", \"platform\" and \"mapping\"")
+		}
+	}
+
+	cfg := sim.Config{
+		NumDataSets:      datasets,
+		Period:           period,
+		ConsensusTimeout: timeout,
+		ControlMsgSize:   msgsize,
+		CollectTrace:     trace,
+	}
+
+	analytic, err := mapping.Latency(inst.Pipeline, inst.Platform, inst.Mapping)
+	if err != nil {
+		return err
+	}
+	analyticFP := mapping.FailureProb(inst.Platform, inst.Mapping)
+	fmt.Printf("mapping:          %s\n", inst.Mapping)
+	fmt.Printf("analytic latency: %.6g\n", analytic)
+	fmt.Printf("analytic FP:      %.6g\n", analyticFP)
+
+	if kill != "" {
+		failed := make([]bool, inst.Platform.NumProcs())
+		for _, tok := range strings.Split(kill, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || id < 0 || id >= len(failed) {
+				return fmt.Errorf("bad -kill id %q", tok)
+			}
+			failed[id] = true
+		}
+		res, err := sim.RunInjected(inst.Pipeline, inst.Platform, inst.Mapping, cfg, failed)
+		if err != nil {
+			return err
+		}
+		printRun("failure injection", res)
+		return nil
+	}
+
+	switch mode {
+	case "worst":
+		res, err := sim.Run(inst.Pipeline, inst.Platform, inst.Mapping, cfg)
+		if err != nil {
+			return err
+		}
+		printRun("worst case", res)
+	case "mc":
+		rng := rand.New(rand.NewSource(seed))
+		cfg.Mode = sim.MonteCarlo
+		cfg.RNG = rng
+		failures := 0
+		var maxLat, sumLat float64
+		completed := 0
+		for i := 0; i < trials; i++ {
+			res, err := sim.Run(inst.Pipeline, inst.Platform, inst.Mapping, cfg)
+			if err != nil {
+				return err
+			}
+			if !res.Completed {
+				failures++
+				continue
+			}
+			completed++
+			sumLat += res.MaxLatency
+			if res.MaxLatency > maxLat {
+				maxLat = res.MaxLatency
+			}
+		}
+		fmt.Printf("mode:             Monte-Carlo, %d trials\n", trials)
+		fmt.Printf("empirical FP:     %.6g (analytic %.6g)\n", float64(failures)/float64(trials), analyticFP)
+		if completed > 0 {
+			fmt.Printf("mean latency:     %.6g\n", sumLat/float64(completed))
+			fmt.Printf("max latency:      %.6g (worst-case bound %.6g)\n", maxLat, analytic)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want worst or mc)", mode)
+	}
+	return nil
+}
+
+func printRun(name string, res sim.RunResult) {
+	fmt.Printf("mode:             %s\n", name)
+	fmt.Printf("completed:        %v\n", res.Completed)
+	if len(res.FailedProcs) > 0 {
+		fmt.Printf("failed procs:     %v\n", res.FailedProcs)
+	}
+	if res.Completed {
+		fmt.Printf("max latency:      %.6g\n", res.MaxLatency)
+		fmt.Printf("makespan:         %.6g\n", res.Makespan)
+		if len(res.DatasetLatencies) > 1 {
+			fmt.Printf("per-dataset:      %.6g\n", res.DatasetLatencies)
+		}
+	}
+	fmt.Printf("events processed: %d\n", res.Events)
+	if res.ConsensusRounds > 0 {
+		fmt.Printf("consensus rounds: %d\n", res.ConsensusRounds)
+	}
+	if res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(100))
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoWorstCase(t *testing.T) {
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "", false); err != nil {
+		t.Fatalf("demo worst: %v", err)
+	}
+}
+
+func TestRunDemoMonteCarlo(t *testing.T) {
+	if err := run("", true, "mc", 200, 7, 1, 0, 0, 0, "", false); err != nil {
+		t.Fatalf("demo mc: %v", err)
+	}
+}
+
+func TestRunDemoKillAndTrace(t *testing.T) {
+	if err := run("", true, "worst", 0, 1, 1, 0, 2, 0, "1,2", true); err != nil {
+		t.Fatalf("demo kill: %v", err)
+	}
+	// Killing the reliable processor fails the application but is not a
+	// tool error.
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "0", false); err != nil {
+		t.Fatalf("fatal kill: %v", err)
+	}
+}
+
+func TestRunDemoStreaming(t *testing.T) {
+	if err := run("", true, "worst", 0, 1, 5, 100, 0, 0, "", false); err != nil {
+		t.Fatalf("streaming: %v", err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	content := `{
+	  "pipeline": {"w": [2, 2], "delta": [100, 100, 100]},
+	  "platform": {
+	    "speed": [1, 1], "failProb": [0.1, 0.1],
+	    "b": [[0, 100], [100, 0]], "bIn": [100, 1], "bOut": [1, 100]
+	  },
+	  "mapping": {"intervals": [{"first":0,"last":0},{"first":1,"last":1}], "alloc": [[0],[1]]}
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err != nil {
+		t.Fatalf("file worst: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("", true, "banana", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "notanumber", false); err == nil {
+		t.Error("bad kill list accepted")
+	}
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "99", false); err == nil {
+		t.Error("out-of-range kill id accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := run(bad, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if err := run(empty, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+		t.Error("instance without fields accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Package repro is a Go implementation of the bi-criteria pipeline
+// mapping framework of Benoit, Rehn-Sonigo and Robert, "Optimizing Latency
+// and Reliability of Pipeline Workflow Applications" (INRIA RR-6345 /
+// IPDPS 2008).
+//
+// An n-stage pipeline application is mapped onto an m-processor platform
+// by partitioning the stages into consecutive intervals and replicating
+// each interval on a set of processors. Replication protects against
+// processor failures (the application fails only if some interval loses
+// every replica) but increases latency (extra serialized communications
+// under the one-port model, slowest-replica computation). The library
+// provides:
+//
+//   - the application and platform models with the paper's three platform
+//     classes (Fully Homogeneous, Communication Homogeneous, Fully
+//     Heterogeneous) crossed with failure homogeneity;
+//   - the analytic metrics: the latency formulas Eq. (1) and Eq. (2) and
+//     the global failure probability (with a log-space variant that stays
+//     exact when probabilities approach the double-precision ulp);
+//   - the paper's polynomial algorithms: Theorem 1 (minimum FP), Theorem 2
+//     (minimum latency on CommHom), Theorem 4 (minimum-latency general
+//     mapping by layered-graph shortest path), and the four bi-criteria
+//     Algorithms 1–4 of Theorems 5 and 6;
+//   - exact exponential solvers and greedy/annealing heuristics for the
+//     classes the paper proves NP-hard (Theorem 7) or leaves open;
+//   - executable NP-hardness gadgets (TSP for Theorem 3, 2-PARTITION for
+//     Theorem 7) with exact oracles that verify the reductions;
+//   - a discrete-event simulator of the platform (one-port communications,
+//     crash failures, replica consensus) that reproduces the analytic
+//     worst case exactly and validates FP by Monte-Carlo.
+//
+// The Solve entry point routes a problem to the strongest method for its
+// platform class and labels the answer ProvablyOptimal, ExhaustivelyOptimal
+// or Heuristic, mirroring the paper's complexity landscape.
+//
+// Quick start:
+//
+//	p, _ := repro.NewPipeline([]float64{1, 100}, []float64{10, 1, 0})
+//	pl, _ := repro.NewCommHomogeneousPlatform(
+//	    []float64{1, 100, 100},   // speeds
+//	    []float64{0.1, 0.8, 0.8}, // failure probabilities
+//	    1,                        // bandwidth
+//	)
+//	res, err := repro.Solve(repro.Problem{
+//	    Pipeline:   p,
+//	    Platform:   pl,
+//	    Objective:  repro.MinimizeFailureProb,
+//	    MaxLatency: 22,
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of every result in the paper.
+package repro

@@ -1,0 +1,94 @@
+// Failure injection: execute the paper's Figure 5 mapping on the
+// discrete-event simulator under worst-case, Monte-Carlo and targeted
+// crash scenarios, and measure the consensus protocol's overhead when
+// coordinators die.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	pipe, plat := repro.Fig5Instance()
+	m := &repro.Mapping{
+		Intervals: []repro.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	analyticLat, err := repro.Latency(pipe, plat, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyticFP := repro.FailureProb(plat, m)
+	fmt.Println("mapping:", m)
+	fmt.Printf("analytic: latency %.4g, FP %.4g\n\n", analyticLat, analyticFP)
+
+	// 1. Worst case: the simulator must land exactly on the formula.
+	wc, err := repro.Simulate(pipe, plat, m, repro.SimConfig{Mode: repro.WorstCase})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst-case simulation: latency %.4g (%d events)\n", wc.MaxLatency, wc.Events)
+
+	// 2. Monte-Carlo: empirical failure rate vs the analytic FP.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 5000
+	failures := 0
+	var maxLat float64
+	for i := 0; i < trials; i++ {
+		res, err := repro.Simulate(pipe, plat, m, repro.SimConfig{Mode: repro.MonteCarlo, RNG: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Completed {
+			failures++
+		} else if res.MaxLatency > maxLat {
+			maxLat = res.MaxLatency
+		}
+	}
+	fmt.Printf("Monte-Carlo (%d runs): failure rate %.4g (analytic %.4g), max latency %.4g ≤ %.4g\n",
+		trials, float64(failures)/trials, analyticFP, maxLat, analyticLat)
+
+	// 3. Targeted injection: progressively kill fast replicas.
+	fmt.Println("\nkilling fast replicas one by one:")
+	for dead := 0; dead <= 10; dead += 2 {
+		failed := make([]bool, plat.NumProcs())
+		for u := 1; u <= dead; u++ {
+			failed[u] = true
+		}
+		res, err := repro.SimulateInjected(pipe, plat, m, repro.SimConfig{}, failed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Completed {
+			fmt.Printf("  %2d dead: completed, latency %.4g\n", dead, res.MaxLatency)
+		} else {
+			fmt.Printf("  %2d dead: APPLICATION FAILED\n", dead)
+		}
+	}
+
+	// 4. Consensus overhead: dead coordinators cost detection timeouts.
+	fmt.Println("\nconsensus overhead with 2 dead low-rank replicas:")
+	failed := make([]bool, plat.NumProcs())
+	failed[1], failed[2] = true, true
+	for _, timeout := range []float64{0, 1, 5} {
+		res, err := repro.SimulateInjected(pipe, plat, m, repro.SimConfig{ConsensusTimeout: timeout}, failed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  timeout %3.0f: latency %.4g (%d consensus rounds)\n",
+			timeout, res.MaxLatency, res.ConsensusRounds)
+	}
+
+	// 5. Streaming: ten data sets back-to-back share the ports.
+	stream, err := repro.Simulate(pipe, plat, m, repro.SimConfig{Mode: repro.WorstCase, NumDataSets: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming 10 data sets: first latency %.4g, last %.4g, makespan %.4g\n",
+		stream.DatasetLatencies[0], stream.DatasetLatencies[9], stream.Makespan)
+	fmt.Printf("throughput: %.4g data sets per time unit\n", 10/stream.Makespan)
+}

@@ -1,0 +1,74 @@
+// Quickstart: solve the paper's Figure 5 instance through the public API.
+//
+// A two-stage pipeline (a cheap stage followed by an expensive one) must
+// run on one slow-but-reliable processor and ten fast-but-unreliable ones.
+// Under a latency budget of 22 time units, the best single-interval
+// mapping is stuck at a 64% failure probability; the optimal mapping puts
+// the cheap stage alone on the reliable processor and replicates the
+// expensive stage on all ten fast processors, cutting the failure
+// probability below 20% at exactly the latency budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The application: w = {1, 100}, δ = {10, 1, 0}.
+	pipe, err := repro.NewPipeline([]float64{1, 100}, []float64{10, 1, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The platform: P1 slow and reliable, P2..P11 fast and flaky;
+	// every link has bandwidth 1 (Communication Homogeneous).
+	speeds := []float64{1}
+	fps := []float64{0.1}
+	for i := 0; i < 10; i++ {
+		speeds = append(speeds, 100)
+		fps = append(fps, 0.8)
+	}
+	plat, err := repro.NewCommHomogeneousPlatform(speeds, fps, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application:", pipe)
+	fmt.Println("platform:   ", plat)
+
+	// Minimize the failure probability under the latency budget.
+	res, err := repro.Solve(repro.Problem{
+		Pipeline:   pipe,
+		Platform:   plat,
+		Objective:  repro.MinimizeFailureProb,
+		MaxLatency: 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbest mapping:", res.Mapping)
+	fmt.Printf("latency:      %.4g (budget 22)\n", res.Metrics.Latency)
+	fmt.Printf("failure prob: %.4g\n", res.Metrics.FailureProb)
+	fmt.Printf("method:       %s (%s)\n", res.Method, res.Certainty)
+
+	// Compare with the best the fastest processor alone can do.
+	fastest, err := repro.Solve(repro.Problem{
+		Pipeline:  pipe,
+		Platform:  plat,
+		Objective: repro.MinimizeLatency,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlatency optimum (no reliability constraint): %.4g with FP %.4g\n",
+		fastest.Metrics.Latency, fastest.Metrics.FailureProb)
+
+	// Cross-check the analytic metrics on the simulator substrate.
+	simRes, err := repro.Simulate(pipe, plat, res.Mapping, repro.SimConfig{Mode: repro.WorstCase})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated worst-case latency: %.4g (matches the analytic formula)\n", simRes.MaxLatency)
+}

@@ -1,0 +1,89 @@
+// Streaming: the three-criteria extension announced in the paper's
+// future work (§5). A video-rate JPEG pipeline must sustain a target
+// throughput; reliability replication raises latency AND the input cycle
+// (the paper's first replication type), while round-robin data
+// parallelism lowers the period at the cost of more failure modes (the
+// second type). This example walks the trade-off on a small platform and
+// validates the analytic period against the simulator's steady state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// A compact 3-stage pipeline (preprocess / transform / encode).
+	pipe, err := repro.NewPipeline([]float64{20, 120, 30}, []float64{8, 6, 4, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := repro.NewCommHomogeneousPlatform(
+		[]float64{10, 10, 10, 10, 10, 2},
+		[]float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.02},
+		4,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application:", pipe)
+	fmt.Println("platform:   ", plat)
+
+	// Reliability-only mapping from the bi-criteria solver.
+	res, err := repro.Solve(repro.Problem{
+		Pipeline:   pipe,
+		Platform:   plat,
+		Objective:  repro.MinimizeFailureProb,
+		MaxLatency: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	period, err := repro.Period(pipe, plat, res.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sustainable, _ := repro.PeriodSustainable(pipe, plat, res.Mapping)
+	noOverlap, _ := repro.PeriodNoOverlap(pipe, plat, res.Mapping)
+	fmt.Printf("\nreliability mapping: %s\n", res.Mapping)
+	fmt.Printf("latency %.4g, FP %.4g\n", res.Metrics.Latency, res.Metrics.FailureProb)
+	fmt.Printf("period: output %.4g, sustainable %.4g, no-overlap %.4g\n", period, sustainable, noOverlap)
+
+	// Validate the analytic period on the simulator: stream 64 data sets
+	// and measure the inter-completion gap.
+	const d = 64
+	simRes, err := repro.Simulate(pipe, plat, res.Mapping, repro.SimConfig{Mode: repro.WorstCase, NumDataSets: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gap := simRes.DatasetLatencies[d-1] - simRes.DatasetLatencies[d-2]
+	fmt.Printf("simulated steady-state gap: %.4g (analytic %.4g)\n", gap, period)
+
+	// Round-robin: split bottleneck groups while FP stays under 0.5.
+	rr, err := repro.GreedyRoundRobin(pipe, plat, res.Mapping, math.Inf(1), 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nround-robin mapping: %s\n", rr.Mapping)
+	fmt.Printf("period %.4g (was %.4g), FP %.4g (was %.4g), latency %.4g\n",
+		rr.Metrics.Period, period, rr.Metrics.FailureProb, res.Metrics.FailureProb, rr.Metrics.Latency)
+
+	// The exhaustive three-criteria front on this small instance.
+	front, err := repro.TriParetoFront(pipe, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthree-criteria Pareto front (%d points, first 12 by latency):\n", front.Len())
+	fmt.Printf("%-10s %-12s %-10s %s\n", "latency", "failureProb", "period", "mapping")
+	for i, e := range front.Entries() {
+		if i == 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("%-10.5g %-12.5g %-10.5g %s\n",
+			e.Metrics.Latency, e.Metrics.FailureProb, e.Metrics.Period, e.Mapping)
+	}
+}

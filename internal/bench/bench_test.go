@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== T: demo ==", "a", "bb", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestE1Numbers asserts the paper's Figure 3-4 values inside the table.
+func TestE1Numbers(t *testing.T) {
+	tb := E1Fig34()
+	if tb.Rows[0][1] != "105" || tb.Rows[1][1] != "105" {
+		t.Errorf("single-processor latencies = %v, want 105", tb.Rows[0:2])
+	}
+	if tb.Rows[2][1] != "7" || tb.Rows[3][1] != "7" {
+		t.Errorf("split/optimal latency rows = %v, want 7", tb.Rows[2:4])
+	}
+}
+
+// TestE2Numbers asserts the Figure 5 values: 0.64 for the single interval
+// and 1 − 0.9(1 − 0.8^10) for the exhaustive optimum.
+func TestE2Numbers(t *testing.T) {
+	tb := E2Fig5()
+	if tb.Rows[0][2] != "0.64" {
+		t.Errorf("single-interval FP = %s, want 0.64", tb.Rows[0][2])
+	}
+	want := 1 - (1-0.1)*(1-math.Pow(0.8, 10))
+	for _, row := range tb.Rows[1:] {
+		var got float64
+		if _, err := sscan(row[2], &got); err != nil {
+			t.Fatalf("bad FP cell %q", row[2])
+		}
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("FP cell = %s, want ≈ %g", row[2], want)
+		}
+	}
+	if tb.Rows[1][1] != "22" {
+		t.Errorf("split latency = %s, want 22", tb.Rows[1][1])
+	}
+}
+
+// TestAgreementExperiments: every validation experiment must report full
+// agreement between algorithm and oracle.
+func TestAgreementExperiments(t *testing.T) {
+	for _, tb := range []*Table{E3MinFP(), E4MinLatencyCommHom()} {
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "true" {
+				t.Errorf("%s: disagreement row %v", tb.ID, row)
+			}
+		}
+	}
+	for _, tb := range []*Table{E7FullyHomBiCriteria(), E8CommHomBiCriteria()} {
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "true" {
+				t.Errorf("%s: disagreement row %v", tb.ID, row)
+			}
+		}
+	}
+	for _, tb := range []*Table{E5TSPReduction(), E9PartitionReduction()} {
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "true" {
+				t.Errorf("%s: non-equivalent reduction row %v", tb.ID, row)
+			}
+		}
+	}
+}
+
+// TestE6Ordering: the shortest path equals brute force and lower-bounds
+// the restricted mapping families.
+func TestE6Ordering(t *testing.T) {
+	tb := E6GeneralShortestPath()
+	for _, row := range tb.Rows {
+		var sp, brute, oto, iv float64
+		for i, dst := range []*float64{&sp, &brute, &oto, &iv} {
+			if _, err := sscan(row[2+i], dst); err != nil {
+				t.Fatalf("bad cell %q", row[2+i])
+			}
+		}
+		if math.Abs(sp-brute) > 1e-6*math.Max(1, brute) {
+			t.Errorf("shortest path %g != brute force %g", sp, brute)
+		}
+		if oto < sp-1e-6 || iv < sp-1e-6 {
+			t.Errorf("restricted optimum below general optimum: %v", row)
+		}
+	}
+}
+
+// TestE10GreedyQuality: the note records how often greedy matched the
+// exact optimum; require a majority on this fixed panel.
+func TestE10GreedyQuality(t *testing.T) {
+	tb := E10HeuristicsOpenCase()
+	if len(tb.Rows) == 0 {
+		t.Skip("no feasible instances")
+	}
+	matches := 0
+	for _, row := range tb.Rows {
+		if row[len(row)-1] == "true" {
+			matches++
+		}
+	}
+	if matches*2 < len(tb.Rows) {
+		t.Errorf("greedy matched exact on %d/%d rows", matches, len(tb.Rows))
+	}
+}
+
+// TestE11WithinSigma: every simulator row must be inside the Monte-Carlo
+// confidence band.
+func TestE11WithinSigma(t *testing.T) {
+	tb := E11SimulatorValidation()
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("Monte-Carlo row outside 4σ: %v", row)
+		}
+		var analytic, simulated float64
+		sscan(row[1], &analytic)
+		sscan(row[2], &simulated)
+		if math.Abs(analytic-simulated) > 1e-6*math.Max(1, analytic) {
+			t.Errorf("worst-case mismatch: %v", row)
+		}
+	}
+}
+
+// TestE12MonotoneTradeoff: relaxing the latency bound never increases the
+// optimal FP.
+func TestE12MonotoneTradeoff(t *testing.T) {
+	tb := E12JPEG()
+	prev := math.Inf(1)
+	for _, row := range tb.Rows {
+		var fp float64
+		if _, err := sscan(row[4], &fp); err != nil {
+			continue // infeasible row
+		}
+		if fp > prev+1e-12 {
+			t.Errorf("FP increased when relaxing the bound: %v", tb.Rows)
+		}
+		prev = fp
+	}
+}
+
+// TestE14Monotone: latency grows and FP shrinks with k.
+func TestE14Monotone(t *testing.T) {
+	tb := E14ReplicationAblation()
+	var prevLat, prevFP float64
+	for i, row := range tb.Rows {
+		var lat, fp float64
+		sscan(row[1], &lat)
+		sscan(row[2], &fp)
+		if i > 0 {
+			if lat <= prevLat || fp >= prevFP {
+				t.Errorf("k-curve not monotone at row %d: %v", i, row)
+			}
+		}
+		prevLat, prevFP = lat, fp
+	}
+}
+
+func TestDPvsDijkstraAgree(t *testing.T) {
+	dp, dij := DPvsDijkstra(10, 10, 5)
+	if math.Abs(dp-dij) > 1e-9*math.Max(1, dp) {
+		t.Errorf("DP %g != Dijkstra %g", dp, dij)
+	}
+}
+
+// TestAllRuns: every experiment renders without panicking and with at
+// least one row (smoke test for cmd/paperbench).
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, tb := range All() {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		if tb.String() == "" {
+			t.Errorf("%s renders empty", tb.ID)
+		}
+	}
+}
+
+func sscan(s string, dst *float64) (int, error) {
+	return fmt.Sscan(s, dst)
+}

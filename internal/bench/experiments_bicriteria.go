@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/heuristics"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+	"repro/internal/workload"
+)
+
+// E7FullyHomBiCriteria sweeps latency and FP thresholds on a Fully
+// Homogeneous platform and compares Algorithms 1 and 2 against exhaustive
+// enumeration (Theorem 5).
+func E7FullyHomBiCriteria() *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Theorem 5 (Algorithms 1-2): bi-criteria on Fully Homogeneous",
+		Header: []string{"query", "threshold", "algorithm", "exhaustive", "k used", "agree"},
+	}
+	p := pipeline.MustNew([]float64{1, 1}, []float64{4, 9, 4})
+	pl, err := platform.NewFullyHomogeneous(5, 1, 2, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	for _, L := range []float64{6, 8, 10, 12, 14} {
+		res, err1 := poly.Algorithm1(p, pl, L)
+		ex, err2 := exact.MinFPUnderLatency(p, pl, L, exact.Options{})
+		t.AddRow("min FP s.t. latency", f(L), cellFP(res, err1), cellFPExact(ex, err2), cellK(res, err1), agreeFP(res, err1, ex, err2))
+	}
+	for _, F := range []float64{0.6, 0.3, 0.13, 0.04, 0.01} {
+		res, err1 := poly.Algorithm2(p, pl, F)
+		ex, err2 := exact.MinLatencyUnderFP(p, pl, F, exact.Options{})
+		t.AddRow("min latency s.t. FP", f(F), cellLat(res, err1), cellLatExact(ex, err2), cellK(res, err1), agreeLat(res, err1, ex, err2))
+	}
+	t.AddNote("latency(k) = k*δ0/b + ΣW/s + δn/b = 2k+4 here; FP(k) = 0.5^k")
+	return t
+}
+
+// E8CommHomBiCriteria does the same for Algorithms 3 and 4 on a CommHom +
+// FailureHom platform (Theorem 6).
+func E8CommHomBiCriteria() *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Theorem 6 (Algorithms 3-4): bi-criteria on CommHom + FailureHom",
+		Header: []string{"query", "threshold", "algorithm", "exhaustive", "k used", "agree"},
+	}
+	p := pipeline.MustNew([]float64{6}, []float64{1, 1})
+	pl, err := platform.NewCommHomogeneous([]float64{4, 3, 2, 1}, []float64{0.5, 0.5, 0.5, 0.5}, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, L := range []float64{3.5, 5, 7, 11} {
+		res, err1 := poly.Algorithm3(p, pl, L)
+		ex, err2 := exact.MinFPUnderLatency(p, pl, L, exact.Options{})
+		t.AddRow("min FP s.t. latency", f(L), cellFP(res, err1), cellFPExact(ex, err2), cellK(res, err1), agreeFP(res, err1, ex, err2))
+	}
+	for _, F := range []float64{0.6, 0.3, 0.13, 0.07} {
+		res, err1 := poly.Algorithm4(p, pl, F)
+		ex, err2 := exact.MinLatencyUnderFP(p, pl, F, exact.Options{})
+		t.AddRow("min latency s.t. FP", f(F), cellLat(res, err1), cellLatExact(ex, err2), cellK(res, err1), agreeLat(res, err1, ex, err2))
+	}
+	return t
+}
+
+// E10HeuristicsOpenCase measures heuristic quality on the open class
+// (CommHom + FailureHet): optimality gap of the single-interval sweep,
+// greedy, and annealing against exhaustive optima on random instances.
+func E10HeuristicsOpenCase() *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Open case (CommHom+FailureHet): heuristics vs exhaustive optimum (min FP s.t. latency)",
+		Header: []string{"inst", "n", "m", "exact FP", "sweep FP", "greedy FP", "anneal FP", "greedy=opt"},
+	}
+	rng := rand.New(rand.NewSource(83))
+	matches, total := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 3 + rng.Intn(3)
+		inst := workload.Random(rng, platform.CommHomogeneous, n, m)
+		// A threshold between the fastest single processor latency and a
+		// loose bound, so the constraint binds.
+		fast, err := poly.MinLatencyCommHom(inst.Pipeline, inst.Platform)
+		if err != nil {
+			panic(err)
+		}
+		L := fast.Metrics.Latency * (1.3 + rng.Float64())
+		ex, err := exact.MinFPUnderLatency(inst.Pipeline, inst.Platform, L, exact.Options{})
+		if errors.Is(err, exact.ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			panic(err)
+		}
+		pr := &heuristics.Problem{Pipe: inst.Pipeline, Plat: inst.Platform, Goal: heuristics.MinFP, Bound: L}
+		sweep, errS := heuristics.SingleIntervalSweep(pr)
+		greedy, errG := heuristics.Greedy(pr)
+		anneal, errA := heuristics.Anneal(pr, heuristics.AnnealConfig{Seed: int64(trial + 1), Iters: 1500, Restarts: 3})
+		total++
+		match := errG == nil && greedy.Metrics.FailureProb <= ex.Metrics.FailureProb+1e-9
+		if match {
+			matches++
+		}
+		t.AddRow(fmt.Sprint(trial), fmt.Sprint(n), fmt.Sprint(m), f(ex.Metrics.FailureProb),
+			cellHeur(sweep, errS), cellHeur(greedy, errG), cellHeur(anneal, errA), fmt.Sprint(match))
+	}
+	t.AddNote("greedy matched the exhaustive optimum on %d/%d instances", matches, total)
+	return t
+}
+
+func cellFP(res poly.Result, err error) string {
+	if err != nil {
+		return "infeasible"
+	}
+	return f(res.Metrics.FailureProb)
+}
+
+func cellLat(res poly.Result, err error) string {
+	if err != nil {
+		return "infeasible"
+	}
+	return f(res.Metrics.Latency)
+}
+
+func cellFPExact(res exact.Result, err error) string {
+	if err != nil {
+		return "infeasible"
+	}
+	return f(res.Metrics.FailureProb)
+}
+
+func cellLatExact(res exact.Result, err error) string {
+	if err != nil {
+		return "infeasible"
+	}
+	return f(res.Metrics.Latency)
+}
+
+func cellK(res poly.Result, err error) string {
+	if err != nil {
+		return "-"
+	}
+	return fmt.Sprint(len(res.Mapping.UsedProcs()))
+}
+
+func cellHeur(res heuristics.Result, err error) string {
+	if err != nil {
+		return "not found"
+	}
+	return f(res.Metrics.FailureProb)
+}
+
+func agreeFP(res poly.Result, err1 error, ex exact.Result, err2 error) string {
+	if (err1 != nil) != (err2 != nil) {
+		return "MISMATCH"
+	}
+	if err1 != nil {
+		return "true"
+	}
+	return fmt.Sprint(math.Abs(res.Metrics.FailureProb-ex.Metrics.FailureProb) <= 1e-9)
+}
+
+func agreeLat(res poly.Result, err1 error, ex exact.Result, err2 error) string {
+	if (err1 != nil) != (err2 != nil) {
+		return "MISMATCH"
+	}
+	if err1 != nil {
+		return "true"
+	}
+	return fmt.Sprint(math.Abs(res.Metrics.Latency-ex.Metrics.Latency) <= 1e-9)
+}

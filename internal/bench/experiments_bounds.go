@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+)
+
+// E17IntervalBounds probes the paper's open question (§4.1: the
+// complexity of latency-minimal interval mappings on Fully Heterogeneous
+// platforms) experimentally: the Theorem 4 relaxation gives polynomial
+// two-sided bounds, and the table reports how often they are tight and the
+// worst observed gap against the exhaustive optimum.
+func E17IntervalBounds() *Table {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Open problem (§4.1): Theorem 4 relaxation bounds on interval latency (FullyHet)",
+		Header: []string{"n", "m", "lower (Thm4)", "exact optimum", "upper (repair)", "tight"},
+	}
+	rng := rand.New(rand.NewSource(131))
+	tight, total := 0, 0
+	worstGap := 0.0
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 10, 1, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		b, err := poly.IntervalLatencyBounds(p, pl)
+		if err != nil {
+			continue
+		}
+		ex, err := exact.MinLatencyInterval(p, pl, exact.Options{})
+		if err != nil {
+			continue
+		}
+		total++
+		if b.Tight {
+			tight++
+		}
+		if gap := b.Upper.Metrics.Latency/math.Max(ex.Metrics.Latency, 1e-12) - 1; gap > worstGap {
+			worstGap = gap
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(m), f(b.Lower), f(ex.Metrics.Latency),
+			f(b.Upper.Metrics.Latency), fmt.Sprint(b.Tight))
+	}
+	t.AddNote("relaxation tight on %d/%d instances; worst upper-bound gap %.2f%%", tight, total, worstGap*100)
+	return t
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+	"repro/internal/workload"
+)
+
+// E1Fig34 reproduces the Section 3 motivating example (Figures 3 and 4):
+// on the fully heterogeneous two-processor platform, any single-processor
+// mapping costs 105 while the split mapping costs 7, and the exhaustive
+// optimum is the split.
+func E1Fig34() *Table {
+	p, pl := workload.Fig34()
+	t := &Table{
+		ID:     "E1",
+		Title:  "Figures 3-4: splitting beats any single processor (Fully Heterogeneous)",
+		Header: []string{"mapping", "latency", "paper"},
+	}
+	for u := 0; u < 2; u++ {
+		m := mapping.NewSingleInterval(2, []int{u})
+		lat, err := mapping.LatencyEq2(p, pl, m)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprintf("[S1..S2] on P%d", u+1), f(lat), "105")
+	}
+	split := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1}},
+	}
+	lat, err := mapping.LatencyEq2(p, pl, split)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("[S1] on P1, [S2] on P2", f(lat), "7")
+	opt, err := exact.MinLatencyInterval(p, pl, exact.Options{})
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("exhaustive optimum", f(opt.Metrics.Latency), "7")
+	t.AddNote("optimal mapping: %s (%d intervals)", opt.Mapping, opt.Mapping.NumIntervals())
+	return t
+}
+
+// E2Fig5 reproduces the Figure 5 example: under latency threshold 22 on
+// the CommHom+FailureHet platform, the best single interval reaches
+// FP = 0.64 while the two-interval mapping reaches FP ≈ 0.1966 at latency
+// exactly 22 — proving Lemma 1 cannot extend to this class.
+func E2Fig5() *Table {
+	p, pl := workload.Fig5()
+	L := workload.Fig5LatencyThreshold
+	t := &Table{
+		ID:     "E2",
+		Title:  "Figure 5: the bi-criteria optimum needs two intervals (CommHom+FailureHet, L=22)",
+		Header: []string{"mapping", "latency", "FP", "paper FP"},
+	}
+	twoFast := mapping.NewSingleInterval(2, []int{1, 2})
+	met, err := mapping.Evaluate(p, pl, twoFast)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("best single interval (2 fast procs)", f(met.Latency), f(met.FailureProb), "0.64")
+
+	split := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	metS, err := mapping.Evaluate(p, pl, split)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("slow stage on reliable + 10x replication", f(metS.Latency), f(metS.FailureProb), "< 0.2")
+
+	opt, err := exact.MinFPUnderLatency(p, pl, L, exact.Options{MaxEnum: 20_000_000})
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("exhaustive optimum", f(opt.Metrics.Latency), f(opt.Metrics.FailureProb), "")
+	t.AddNote("optimal mapping: %s", opt.Mapping)
+	return t
+}
+
+// E3MinFP validates Theorem 1 on random platforms of every class: the
+// full-replication mapping always matches the exhaustive FP optimum.
+func E3MinFP() *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Theorem 1: minimum failure probability = replicate everything everywhere",
+		Header: []string{"platform", "n", "m", "Thm1 FP", "exhaustive FP", "agree"},
+	}
+	rng := rand.New(rand.NewSource(31))
+	classes := []platform.Class{platform.FullyHomogeneous, platform.CommHomogeneous, platform.FullyHeterogeneous}
+	for _, cls := range classes {
+		for trial := 0; trial < 3; trial++ {
+			n := 1 + rng.Intn(3)
+			m := 2 + rng.Intn(3)
+			inst := workload.Random(rng, cls, n, m)
+			res, err := poly.MinFailureProb(inst.Pipeline, inst.Platform)
+			if err != nil {
+				panic(err)
+			}
+			ex, err := exact.MinFPUnderLatency(inst.Pipeline, inst.Platform, math.Inf(1), exact.Options{})
+			if err != nil {
+				panic(err)
+			}
+			agree := math.Abs(res.Metrics.FailureProb-ex.Metrics.FailureProb) <= 1e-12
+			t.AddRow(cls.String(), fmt.Sprint(n), fmt.Sprint(m),
+				f(res.Metrics.FailureProb), f(ex.Metrics.FailureProb), fmt.Sprint(agree))
+		}
+	}
+	return t
+}
+
+// E4MinLatencyCommHom validates Theorem 2: on CommHom platforms the
+// latency optimum is the whole pipeline on the fastest processor.
+func E4MinLatencyCommHom() *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Theorem 2: minimum latency on CommHom = fastest single processor",
+		Header: []string{"n", "m", "Thm2 latency", "exhaustive latency", "agree"},
+	}
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 2 + rng.Intn(3)
+		inst := workload.Random(rng, platform.CommHomogeneous, n, m)
+		res, err := poly.MinLatencyCommHom(inst.Pipeline, inst.Platform)
+		if err != nil {
+			panic(err)
+		}
+		ex, err := exact.MinLatencyInterval(inst.Pipeline, inst.Platform, exact.Options{})
+		if err != nil {
+			panic(err)
+		}
+		agree := math.Abs(res.Metrics.Latency-ex.Metrics.Latency) <= 1e-9
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(m), f(res.Metrics.Latency), f(ex.Metrics.Latency), fmt.Sprint(agree))
+	}
+	return t
+}
+
+// E6GeneralShortestPath validates Theorem 4: the layered-graph shortest
+// path equals the brute-force general-mapping optimum, and is never above
+// the one-to-one or interval optima (general mappings are a superset).
+func E6GeneralShortestPath() *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Theorem 4 / Figure 6: general mappings via shortest path (Fully Heterogeneous)",
+		Header: []string{"n", "m", "shortest path", "brute force", "one-to-one opt", "interval opt"},
+	}
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(3)
+		m := n + rng.Intn(2)
+		p := pipeline.Random(rng, n, 1, 10, 1, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		dp := poly.MinLatencyGeneral(p, pl)
+		brute, err := exact.MinLatencyGeneralBrute(p, pl)
+		if err != nil {
+			panic(err)
+		}
+		oto, err := exact.MinLatencyOneToOne(p, pl)
+		if err != nil {
+			panic(err)
+		}
+		iv, err := exact.MinLatencyInterval(p, pl, exact.Options{})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(m), f(dp.Latency), f(brute.Latency), f(oto.Latency), f(iv.Metrics.Latency))
+	}
+	t.AddNote("shortest path = brute force on every row; one-to-one and interval optima are ≥ (restrictions)")
+	return t
+}

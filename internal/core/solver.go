@@ -1,0 +1,437 @@
+// Package core is the solver facade of the library: it routes a
+// bi-criteria mapping problem to the strongest method available for its
+// platform class, mirroring the paper's complexity map.
+//
+//	platform class              method                      certainty
+//	─────────────────────────   ─────────────────────────   ───────────
+//	Fully Homogeneous           Algorithm 1 / Algorithm 2   provably optimal
+//	CommHom + FailureHom        Algorithm 3 / Algorithm 4   provably optimal
+//	CommHom + FailureHet        exact search (small) or     exhaustive /
+//	(open problem, §4.4)        greedy + annealing          heuristic
+//	Fully Heterogeneous         exact search (small) or     exhaustive /
+//	(NP-hard, Theorem 7)        greedy + annealing          heuristic
+//
+// Mono-criterion queries (no constraint) route to Theorem 1 (minimum
+// failure probability, any platform) and Theorem 2 (minimum latency,
+// communication-homogeneous platforms). Latency minimization over
+// *general* mappings — Theorem 4's shortest-path algorithm — is exposed
+// separately as MinLatencyGeneral since it leaves the interval-mapping
+// space.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/frontier"
+	"repro/internal/heuristics"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+)
+
+// Objective selects the minimized criterion.
+type Objective int
+
+const (
+	// MinimizeLatency minimizes the response time, optionally under a
+	// failure-probability bound.
+	MinimizeLatency Objective = iota
+	// MinimizeFailureProb minimizes the failure probability, optionally
+	// under a latency bound.
+	MinimizeFailureProb
+)
+
+func (o Objective) String() string {
+	if o == MinimizeLatency {
+		return "minimize latency"
+	}
+	return "minimize failure probability"
+}
+
+// Problem is a bi-criteria interval-mapping instance. Leave the
+// constraint at its zero value (or +Inf / 1 respectively) for
+// mono-criterion queries.
+type Problem struct {
+	Pipeline  *pipeline.Pipeline
+	Platform  *platform.Platform
+	Objective Objective
+	// MaxLatency bounds the latency when minimizing failure probability.
+	// 0 or +Inf means unconstrained.
+	MaxLatency float64
+	// MaxFailProb bounds the failure probability when minimizing latency.
+	// 0 or 1 means unconstrained (every mapping has FP ≤ 1).
+	MaxFailProb float64
+}
+
+// Certainty grades how strong the returned answer is.
+type Certainty int
+
+const (
+	// ProvablyOptimal: produced by one of the paper's polynomial
+	// algorithms on its platform class.
+	ProvablyOptimal Certainty = iota
+	// ExhaustivelyOptimal: produced by complete enumeration.
+	ExhaustivelyOptimal
+	// Heuristic: best mapping found by the heuristic search; optimality
+	// is not guaranteed (the underlying problem is NP-hard or open).
+	Heuristic
+)
+
+func (c Certainty) String() string {
+	switch c {
+	case ProvablyOptimal:
+		return "provably optimal"
+	case ExhaustivelyOptimal:
+		return "exhaustively optimal"
+	default:
+		return "heuristic"
+	}
+}
+
+// Result is a solved problem: the mapping, its metrics, and the provenance
+// of the answer.
+type Result struct {
+	Mapping   *mapping.Mapping
+	Metrics   mapping.Metrics
+	Certainty Certainty
+	Method    string
+}
+
+// ErrInfeasible is returned when it is certain that no interval mapping
+// satisfies the constraint.
+var ErrInfeasible = errors.New("core: no mapping satisfies the constraint")
+
+// ErrNotFound is returned when the heuristic search found no feasible
+// mapping; unlike ErrInfeasible this does not prove none exists.
+var ErrNotFound = errors.New("core: no feasible mapping found (heuristic search; instance may still be feasible)")
+
+// Options tunes the solver.
+type Options struct {
+	// ExactBudget is the largest interval-mapping count for which the
+	// exact enumerator is used on the hard classes (default 200000).
+	ExactBudget float64
+	// Anneal configures the annealing fallback.
+	Anneal heuristics.AnnealConfig
+	// ForceHeuristic skips exact enumeration even on small instances.
+	ForceHeuristic bool
+}
+
+func (o Options) exactBudget() float64 {
+	if o.ExactBudget > 0 {
+		return o.ExactBudget
+	}
+	return 200_000
+}
+
+// Solve routes the problem with default options.
+func Solve(pr Problem) (Result, error) { return SolveWithOptions(pr, Options{}) }
+
+// SolveWithOptions routes the problem to the strongest applicable method.
+func SolveWithOptions(pr Problem, opts Options) (Result, error) {
+	if err := validate(pr); err != nil {
+		return Result{}, err
+	}
+	if pr.Objective == MinimizeFailureProb {
+		return solveMinFP(pr, opts)
+	}
+	return solveMinLatency(pr, opts)
+}
+
+func validate(pr Problem) error {
+	if pr.Pipeline == nil || pr.Platform == nil {
+		return fmt.Errorf("core: problem needs both a pipeline and a platform")
+	}
+	if err := pr.Pipeline.Validate(); err != nil {
+		return err
+	}
+	if err := pr.Platform.Validate(); err != nil {
+		return err
+	}
+	if pr.MaxLatency < 0 || math.IsNaN(pr.MaxLatency) {
+		return fmt.Errorf("core: invalid MaxLatency %v", pr.MaxLatency)
+	}
+	if pr.MaxFailProb < 0 || pr.MaxFailProb > 1 || math.IsNaN(pr.MaxFailProb) {
+		return fmt.Errorf("core: invalid MaxFailProb %v", pr.MaxFailProb)
+	}
+	return nil
+}
+
+func (pr Problem) latencyUnconstrained() bool {
+	return pr.MaxLatency == 0 || math.IsInf(pr.MaxLatency, 1)
+}
+
+func (pr Problem) fpUnconstrained() bool {
+	return pr.MaxFailProb == 0 || pr.MaxFailProb == 1
+}
+
+func solveMinFP(pr Problem, opts Options) (Result, error) {
+	// Unconstrained: Theorem 1 on every platform class.
+	if pr.latencyUnconstrained() {
+		res, err := poly.MinFailureProb(pr.Pipeline, pr.Platform)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 1: replicate the whole pipeline on all processors"}, nil
+	}
+	cls := pr.Platform.Classify()
+	switch {
+	case cls == platform.FullyHomogeneous:
+		res, err := poly.Algorithm1(pr.Pipeline, pr.Platform, pr.MaxLatency)
+		if errors.Is(err, poly.ErrInfeasible) {
+			return Result{}, ErrInfeasible
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 1 (Theorem 5)"}, nil
+	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
+		res, err := poly.Algorithm3(pr.Pipeline, pr.Platform, pr.MaxLatency)
+		if errors.Is(err, poly.ErrInfeasible) {
+			return Result{}, ErrInfeasible
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 3 (Theorem 6)"}, nil
+	}
+	return solveHard(pr, opts)
+}
+
+func solveMinLatency(pr Problem, opts Options) (Result, error) {
+	cls := pr.Platform.Classify()
+	if pr.fpUnconstrained() {
+		if cls == platform.FullyHomogeneous || cls == platform.CommHomogeneous {
+			res, err := poly.MinLatencyCommHom(pr.Pipeline, pr.Platform)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 2: whole pipeline on the fastest processor"}, nil
+		}
+		// Fully heterogeneous latency minimization over interval mappings:
+		// complexity open (the paper suspects NP-hard). The Theorem 4
+		// relaxation gives two-sided bounds; when the shortest general
+		// path is already interval-shaped the repaired mapping is provably
+		// optimal. Otherwise fall back to exact/heuristic search and keep
+		// the better of the two answers.
+		bounds, bErr := poly.IntervalLatencyBounds(pr.Pipeline, pr.Platform)
+		if bErr == nil && bounds.Tight {
+			return Result{bounds.Upper.Mapping, bounds.Upper.Metrics, ProvablyOptimal,
+				"Theorem 4 relaxation (general optimum is interval-shaped)"}, nil
+		}
+		res, err := solveHard(pr, opts)
+		if bErr == nil && (err != nil || bounds.Upper.Metrics.Latency < res.Metrics.Latency) {
+			res = Result{bounds.Upper.Mapping, bounds.Upper.Metrics, Heuristic,
+				"Theorem 4 relaxation + path repair"}
+			err = nil
+		}
+		if pr.Platform.NumProcs() <= 64 {
+			if beam, beamErr := heuristics.BeamSearchMinLatency(pr.Pipeline, pr.Platform, 32); beamErr == nil {
+				if err != nil || beam.Metrics.Latency < res.Metrics.Latency {
+					res = Result{beam.Mapping, beam.Metrics, Heuristic, "beam search over interval prefixes"}
+					err = nil
+				}
+			}
+		}
+		return res, err
+	}
+	switch {
+	case cls == platform.FullyHomogeneous:
+		res, err := poly.Algorithm2(pr.Pipeline, pr.Platform, pr.MaxFailProb)
+		if errors.Is(err, poly.ErrInfeasible) {
+			return Result{}, ErrInfeasible
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 2 (Theorem 5)"}, nil
+	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
+		res, err := poly.Algorithm4(pr.Pipeline, pr.Platform, pr.MaxFailProb)
+		if errors.Is(err, poly.ErrInfeasible) {
+			return Result{}, ErrInfeasible
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 4 (Theorem 6)"}, nil
+	}
+	return solveHard(pr, opts)
+}
+
+// solveHard handles the open and NP-hard classes: the bitmask dynamic
+// program on communication-homogeneous platforms with few processors,
+// exact enumeration when the instance is small enough, and greedy +
+// annealing otherwise.
+func solveHard(pr Problem, opts Options) (Result, error) {
+	n, m := pr.Pipeline.NumStages(), pr.Platform.NumProcs()
+	if !opts.ForceHeuristic {
+		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs {
+			res, err := solveBitmaskDP(pr)
+			if err == nil || errors.Is(err, ErrInfeasible) {
+				return res, err
+			}
+		}
+		if EstimateMappingCount(n, m) <= opts.exactBudget() {
+			res, err := solveExact(pr, opts)
+			if err == nil || errors.Is(err, ErrInfeasible) {
+				return res, err
+			}
+			// Enumeration failed for another reason: fall through.
+		}
+	}
+	return solveHeuristic(pr, opts)
+}
+
+// solveBitmaskDP routes to the O(n²·3^m) exact dynamic program for
+// communication-homogeneous platforms.
+func solveBitmaskDP(pr Problem) (Result, error) {
+	var res exact.Result
+	var err error
+	var method string
+	if pr.Objective == MinimizeFailureProb {
+		res, err = exact.MinFPUnderLatencyDP(pr.Pipeline, pr.Platform, pr.MaxLatency)
+		method = "bitmask DP (min FP s.t. latency)"
+	} else {
+		bound := pr.MaxFailProb
+		if pr.fpUnconstrained() {
+			bound = 1
+		}
+		res, err = exact.MinLatencyUnderFPDP(pr.Pipeline, pr.Platform, bound)
+		method = "bitmask DP (min latency s.t. FP)"
+	}
+	if errors.Is(err, exact.ErrInfeasible) {
+		return Result{}, ErrInfeasible
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
+}
+
+func solveExact(pr Problem, opts Options) (Result, error) {
+	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2}
+	var res exact.Result
+	var err error
+	var method string
+	if pr.Objective == MinimizeFailureProb {
+		res, err = exact.MinFPUnderLatency(pr.Pipeline, pr.Platform, pr.MaxLatency, exOpts)
+		method = "exhaustive search (min FP s.t. latency)"
+	} else {
+		bound := pr.MaxFailProb
+		if pr.fpUnconstrained() {
+			bound = 1
+		}
+		res, err = exact.MinLatencyUnderFP(pr.Pipeline, pr.Platform, bound, exOpts)
+		method = "exhaustive search (min latency s.t. FP)"
+	}
+	if errors.Is(err, exact.ErrInfeasible) {
+		return Result{}, ErrInfeasible
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
+}
+
+func solveHeuristic(pr Problem, opts Options) (Result, error) {
+	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform}
+	if pr.Objective == MinimizeFailureProb {
+		hp.Goal = heuristics.MinFP
+		hp.Bound = pr.MaxLatency
+	} else {
+		hp.Goal = heuristics.MinLatency
+		hp.Bound = pr.MaxFailProb
+		if pr.fpUnconstrained() {
+			hp.Bound = 1
+		}
+	}
+	best := Result{}
+	found := false
+	if g, err := heuristics.Greedy(hp); err == nil {
+		best = Result{g.Mapping, g.Metrics, Heuristic, "greedy local improvement"}
+		found = true
+	}
+	if a, err := heuristics.Anneal(hp, opts.Anneal); err == nil {
+		if !found || better(pr, a.Metrics, best.Metrics) {
+			best = Result{a.Mapping, a.Metrics, Heuristic, "simulated annealing"}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrNotFound
+	}
+	return best, nil
+}
+
+func better(pr Problem, a, b mapping.Metrics) bool {
+	if pr.Objective == MinimizeFailureProb {
+		return a.FailureProb < b.FailureProb
+	}
+	return a.Latency < b.Latency
+}
+
+// MinLatencyGeneral exposes Theorem 4: the latency-optimal general
+// (non-interval, non-replicated) mapping via the layered-graph shortest
+// path. Valid on every platform class.
+func MinLatencyGeneral(p *pipeline.Pipeline, pl *platform.Platform) (poly.GeneralResult, error) {
+	if err := p.Validate(); err != nil {
+		return poly.GeneralResult{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return poly.GeneralResult{}, err
+	}
+	return poly.MinLatencyGeneral(p, pl), nil
+}
+
+// EstimateMappingCount approximates the number of interval mappings of n
+// stages on m processors (with replication): Σ_p C(n−1, p−1)·S(p, m)
+// where S(p, m) counts assignments of disjoint non-empty replica sets,
+// upper-bounded here by (p+1)^m. Used to decide exact-vs-heuristic.
+func EstimateMappingCount(n, m int) float64 {
+	total := 0.0
+	for p := 1; p <= n && p <= m; p++ {
+		total += binom(n-1, p-1) * math.Pow(float64(p+1), float64(m))
+		if total > 1e18 {
+			return total
+		}
+	}
+	return total
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// Pareto computes the latency/FP trade-off front: exhaustively on small
+// instances, by annealing archive otherwise.
+func Pareto(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (*frontier.Front, Certainty, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n, m := p.NumStages(), pl.NumProcs()
+	if !opts.ForceHeuristic && EstimateMappingCount(n, m) <= opts.exactBudget() {
+		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2})
+		if err == nil {
+			front := &frontier.Front{}
+			for _, r := range results {
+				front.Insert(r.Metrics, r.Mapping)
+			}
+			return front, ExhaustivelyOptimal, nil
+		}
+	}
+	front := heuristics.ParetoSearch(&heuristics.Problem{Pipe: p, Plat: pl}, opts.Anneal)
+	return front, Heuristic, nil
+}

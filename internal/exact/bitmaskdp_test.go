@@ -1,0 +1,148 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestBitmaskDPRequiresCommHom(t *testing.T) {
+	p, pl := fig34()
+	if _, err := ParetoCommHomDP(p, pl); err == nil {
+		t.Error("fully heterogeneous platform accepted")
+	}
+}
+
+func fig34() (*pipeline.Pipeline, *platform.Platform) {
+	p := pipeline.MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	pl, _ := platform.NewFullyHeterogeneous(
+		[]float64{1, 1}, []float64{0, 0},
+		[][]float64{{0, 100}, {100, 0}},
+		[]float64{100, 1}, []float64{1, 100})
+	return p, pl
+}
+
+func TestBitmaskDPRejectsLargeM(t *testing.T) {
+	p := pipeline.Uniform(2, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(MaxBitmaskProcs+1, 1, 1, 0.5)
+	if _, err := ParetoCommHomDP(p, pl); err == nil {
+		t.Error("oversized platform accepted")
+	}
+}
+
+// TestBitmaskDPFig5 solves the paper's Figure 5 instance by DP: same
+// optimum as the enumeration, orders of magnitude fewer states.
+func TestBitmaskDPFig5(t *testing.T) {
+	p, pl := workload.Fig5()
+	res, err := MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.1)*(1-math.Pow(0.8, 10))
+	if math.Abs(res.Metrics.FailureProb-want) > 1e-9 {
+		t.Errorf("DP FP = %g, want %g", res.Metrics.FailureProb, want)
+	}
+	if res.Mapping.NumIntervals() != 2 {
+		t.Errorf("DP mapping %v, want 2 intervals", res.Mapping)
+	}
+	if err := res.Mapping.Validate(2, 11); err != nil {
+		t.Fatalf("reconstructed mapping invalid: %v", err)
+	}
+}
+
+// Property: the DP front equals the enumeration front (same metric sets)
+// on random CommHom instances, and every reconstructed mapping evaluates
+// to its recorded metrics.
+func TestBitmaskDPMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 1+rng.Float64()*3)
+
+		dpFront, err := ParetoCommHomDP(p, pl)
+		if err != nil {
+			return false
+		}
+		enumFront, err := ParetoFront(p, pl, Options{})
+		if err != nil {
+			return false
+		}
+		if len(dpFront) != len(enumFront) {
+			return false
+		}
+		for i := range dpFront {
+			a, b := dpFront[i].Metrics, enumFront[i].Metrics
+			if math.Abs(a.Latency-b.Latency) > 1e-9 || math.Abs(a.FailureProb-b.FailureProb) > 1e-9 {
+				return false
+			}
+			// Reconstructed mapping must reproduce its metrics.
+			met, err := mapping.Evaluate(p, pl, dpFront[i].Mapping)
+			if err != nil {
+				return false
+			}
+			if math.Abs(met.Latency-a.Latency) > 1e-9 || math.Abs(met.FailureProb-a.FailureProb) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the DP constrained queries agree with the enumeration-based
+// ones, including infeasibility.
+func TestBitmaskDPQueriesMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 2)
+
+		L := 1 + rng.Float64()*40
+		a, errA := MinFPUnderLatencyDP(p, pl, L)
+		b, errB := MinFPUnderLatency(p, pl, L, Options{})
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA == nil && math.Abs(a.Metrics.FailureProb-b.Metrics.FailureProb) > 1e-9 {
+			return false
+		}
+
+		F := rng.Float64()
+		c, errC := MinLatencyUnderFPDP(p, pl, F)
+		d, errD := MinLatencyUnderFP(p, pl, F, Options{})
+		if (errC == nil) != (errD == nil) {
+			return false
+		}
+		if errC == nil && math.Abs(c.Metrics.Latency-d.Metrics.Latency) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmaskDPInfeasible(t *testing.T) {
+	p := pipeline.Uniform(2, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0.5)
+	if _, err := MinFPUnderLatencyDP(p, pl, 0.001); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := MinLatencyUnderFPDP(p, pl, 0.01); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package exact provides exponential-time exhaustive solvers used as
+// ground truth on small instances: they enumerate every interval mapping
+// (optionally with replication), every one-to-one mapping, or every
+// general mapping, and optimize either criterion under a threshold on the
+// other. The polynomial algorithms of package poly and the heuristics of
+// package heuristics are validated against these oracles, and the
+// NP-hardness reductions of package npc use them as decision procedures.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// ErrBudget is returned when an enumeration would exceed Options.MaxEnum
+// evaluated mappings; callers should shrink the instance or raise the cap.
+var ErrBudget = errors.New("exact: enumeration budget exceeded")
+
+// ErrInfeasible is returned when no enumerated mapping satisfies the
+// constraint.
+var ErrInfeasible = errors.New("exact: no mapping satisfies the constraint")
+
+// Options tunes the enumeration.
+type Options struct {
+	// Replication enumerates every assignment of disjoint processor
+	// subsets to intervals. When false, only one processor per interval is
+	// considered (sufficient for latency-only optimization: replication
+	// can only increase latency).
+	Replication bool
+	// MaxEnum caps the number of evaluated mappings (default 5,000,000).
+	MaxEnum int64
+}
+
+func (o Options) maxEnum() int64 {
+	if o.MaxEnum > 0 {
+		return o.MaxEnum
+	}
+	return 5_000_000
+}
+
+// latencyTol mirrors package poly: thresholds sitting exactly on an
+// achievable latency stay feasible despite float accumulation.
+const latencyTol = 1e-9
+
+func leqTol(x, bound float64) bool {
+	return x <= bound+latencyTol*math.Max(1, math.Abs(bound))
+}
+
+// ForEachMapping enumerates every valid interval mapping of n stages onto
+// m processors, invoking visit for each. The *mapping.Mapping passed to
+// visit is reused between calls — clone it to retain it. Enumeration stops
+// early when visit returns false. The error is ErrBudget if the cap was
+// hit.
+func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) error {
+	budget := opts.maxEnum()
+	count := int64(0)
+	stopped := false
+
+	intervals := make([]mapping.Interval, 0, n)
+	// assign[u] = interval index of processor u, or -1 when unused.
+	assign := make([]int, m)
+
+	var emit func(p int) bool // builds alloc from assign and visits
+	emit = func(p int) bool {
+		alloc := make([][]int, p)
+		for u, j := range assign {
+			if j >= 0 {
+				alloc[j] = append(alloc[j], u)
+			}
+		}
+		for j := 0; j < p; j++ {
+			if len(alloc[j]) == 0 {
+				return true // not a valid mapping; skip silently
+			}
+		}
+		count++
+		if count > budget {
+			return false
+		}
+		mp := &mapping.Mapping{Intervals: intervals, Alloc: alloc}
+		if !visit(mp) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+
+	var assignProcs func(u, p int) bool
+	assignProcs = func(u, p int) bool {
+		if u == m {
+			return emit(p)
+		}
+		for j := -1; j < p; j++ {
+			assign[u] = j
+			if !opts.Replication && j >= 0 {
+				// at most one processor per interval
+				dup := false
+				for v := 0; v < u; v++ {
+					if assign[v] == j {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+			}
+			if !assignProcs(u+1, p) {
+				return false
+			}
+		}
+		assign[u] = -1
+		return true
+	}
+
+	var split func(start int) bool
+	split = func(start int) bool {
+		if start == n {
+			p := len(intervals)
+			if p > m {
+				return true
+			}
+			for u := range assign {
+				assign[u] = -1
+			}
+			return assignProcs(0, p)
+		}
+		for end := start; end < n; end++ {
+			intervals = append(intervals, mapping.Interval{First: start, Last: end})
+			ok := split(end + 1)
+			intervals = intervals[:len(intervals)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	if n <= 0 || m <= 0 {
+		return fmt.Errorf("exact: need n>0 and m>0, got n=%d m=%d", n, m)
+	}
+	if !split(0) && !stopped && count > budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Result mirrors poly.Result for the exact solvers.
+type Result struct {
+	Mapping *mapping.Mapping
+	Metrics mapping.Metrics
+}
+
+// MinLatencyInterval finds the latency-optimal interval mapping by
+// exhaustive enumeration. Replication is skipped by default (it can only
+// increase latency) unless opts.Replication is set.
+func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (Result, error) {
+	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
+	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
+		met, err := mapping.Evaluate(p, pl, mp)
+		if err != nil {
+			return true
+		}
+		if met.Latency < best.Metrics.Latency {
+			best = Result{Mapping: mp.Clone(), Metrics: met}
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if best.Mapping == nil {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// MinFPUnderLatency finds the interval mapping of minimum failure
+// probability among those with latency ≤ maxLatency, by exhaustive
+// enumeration (replication enabled regardless of opts.Replication, since
+// replication is the whole point of reliability).
+func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
+	opts.Replication = true
+	best := Result{Metrics: mapping.Metrics{FailureProb: math.Inf(1)}}
+	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
+		met, err := mapping.Evaluate(p, pl, mp)
+		if err != nil {
+			return true
+		}
+		if !leqTol(met.Latency, maxLatency) {
+			return true
+		}
+		if met.FailureProb < best.Metrics.FailureProb ||
+			(met.FailureProb == best.Metrics.FailureProb && met.Latency < best.Metrics.Latency) {
+			best = Result{Mapping: mp.Clone(), Metrics: met}
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if best.Mapping == nil {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// MinLatencyUnderFP finds the interval mapping of minimum latency among
+// those with failure probability ≤ maxFailureProb, by exhaustive
+// enumeration with replication.
+func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
+	opts.Replication = true
+	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
+	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
+		met, err := mapping.Evaluate(p, pl, mp)
+		if err != nil {
+			return true
+		}
+		if met.FailureProb > maxFailureProb+1e-12 {
+			return true
+		}
+		if met.Latency < best.Metrics.Latency ||
+			(met.Latency == best.Metrics.Latency && met.FailureProb < best.Metrics.FailureProb) {
+			best = Result{Mapping: mp.Clone(), Metrics: met}
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if best.Mapping == nil {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// ParetoFront enumerates all interval mappings (with replication) and
+// returns the non-dominated (latency, FP) set, sorted by increasing
+// latency. Mappings with identical metrics are collapsed to one
+// representative.
+func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
+	opts.Replication = true
+	var front []Result
+	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
+		met, err := mapping.Evaluate(p, pl, mp)
+		if err != nil {
+			return true
+		}
+		for _, r := range front {
+			if r.Metrics.Dominates(met) || r.Metrics == met {
+				return true // dominated or duplicate: skip
+			}
+		}
+		keep := front[:0]
+		for _, r := range front {
+			if !met.Dominates(r.Metrics) {
+				keep = append(keep, r)
+			}
+		}
+		front = append(keep, Result{Mapping: mp.Clone(), Metrics: met})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortResultsByLatency(front)
+	return front, nil
+}
+
+func sortResultsByLatency(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Metrics.Latency < rs[j-1].Metrics.Latency; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

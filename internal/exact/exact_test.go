@@ -1,0 +1,387 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/poly"
+)
+
+// countMappings returns the number of valid interval mappings enumerated.
+func countMappings(n, m int, repl bool) int {
+	count := 0
+	ForEachMapping(n, m, Options{Replication: repl}, func(*mapping.Mapping) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+func TestForEachMappingCountsNoReplication(t *testing.T) {
+	// n=1, m=2, no replication: 1 interval on P0 or P1 → 2 mappings.
+	if got := countMappings(1, 2, false); got != 2 {
+		t.Errorf("count(1,2) = %d, want 2", got)
+	}
+	// n=2, m=2: p=1 → 2; p=2 → 2 ordered pairs of distinct procs → 2. Total 4.
+	if got := countMappings(2, 2, false); got != 4 {
+		t.Errorf("count(2,2) = %d, want 4", got)
+	}
+	// n=2, m=3: p=1 → 3; p=2 → 3·2 = 6. Total 9.
+	if got := countMappings(2, 3, false); got != 9 {
+		t.Errorf("count(2,3) = %d, want 9", got)
+	}
+}
+
+func TestForEachMappingCountsWithReplication(t *testing.T) {
+	// n=1, m=2 with replication: non-empty subsets of {P0,P1} → 3.
+	if got := countMappings(1, 2, true); got != 3 {
+		t.Errorf("count(1,2) = %d, want 3", got)
+	}
+	// n=2, m=2: p=1 → 3 subsets; p=2 → ordered disjoint non-empty pairs:
+	// ({0},{1}), ({1},{0}) → 2. Total 5.
+	if got := countMappings(2, 2, true); got != 5 {
+		t.Errorf("count(2,2) = %d, want 5", got)
+	}
+	// n=1, m=3: 7 subsets.
+	if got := countMappings(1, 3, true); got != 7 {
+		t.Errorf("count(1,3) = %d, want 7", got)
+	}
+}
+
+func TestForEachMappingAllValid(t *testing.T) {
+	err := ForEachMapping(3, 4, Options{Replication: true}, func(mp *mapping.Mapping) bool {
+		if err := mp.Validate(3, 4); err != nil {
+			t.Fatalf("enumerated invalid mapping %v: %v", mp, err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachMappingBudget(t *testing.T) {
+	err := ForEachMapping(4, 6, Options{Replication: true, MaxEnum: 10}, func(*mapping.Mapping) bool {
+		return true
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestForEachMappingEarlyStop(t *testing.T) {
+	count := 0
+	err := ForEachMapping(3, 3, Options{}, func(*mapping.Mapping) bool {
+		count++
+		return count < 3
+	})
+	if err != nil {
+		t.Fatalf("early stop returned error: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("visited %d mappings after stop, want 3", count)
+	}
+}
+
+func TestForEachMappingRejectsBadSizes(t *testing.T) {
+	if err := ForEachMapping(0, 3, Options{}, func(*mapping.Mapping) bool { return true }); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := ForEachMapping(3, 0, Options{}, func(*mapping.Mapping) bool { return true }); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+// TestMinLatencyFig34: the exhaustive solver reproduces the paper's
+// Section 3 example optimum (latency 7 with a split mapping).
+func TestMinLatencyFig34(t *testing.T) {
+	p := pipeline.MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	pl, err := platform.NewFullyHeterogeneous(
+		[]float64{1, 1}, []float64{0, 0},
+		[][]float64{{0, 100}, {100, 0}},
+		[]float64{100, 1}, []float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinLatencyInterval(p, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Latency != 7 {
+		t.Errorf("optimal latency = %g, want 7", res.Metrics.Latency)
+	}
+	if res.Mapping.NumIntervals() != 2 {
+		t.Errorf("optimal mapping has %d intervals, want 2", res.Mapping.NumIntervals())
+	}
+}
+
+// TestMinFPUnderLatencyFig5: the exhaustive solver finds the paper's
+// two-interval optimum on the Figure 5 instance.
+func TestMinFPUnderLatencyFig5(t *testing.T) {
+	p := pipeline.MustNew([]float64{1, 100}, []float64{10, 1, 0})
+	speeds := []float64{1}
+	fps := []float64{0.1}
+	// Use 5 fast processors (not 10) to keep enumeration quick; the best
+	// mapping is still slow-stage-on-reliable + full fast replication.
+	for i := 0; i < 5; i++ {
+		speeds = append(speeds, 100)
+		fps = append(fps, 0.8)
+	}
+	pl, _ := platform.NewCommHomogeneous(speeds, fps, 1)
+	res, err := MinFPUnderLatency(p, pl, 22, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := 1 - (1-0.1)*(1-math.Pow(0.8, 5))
+	if math.Abs(res.Metrics.FailureProb-wantFP) > 1e-12 {
+		t.Errorf("FP = %g, want %g", res.Metrics.FailureProb, wantFP)
+	}
+	if res.Mapping.NumIntervals() != 2 {
+		t.Errorf("optimal mapping has %d intervals, want 2 (CommHom+FailureHet)", res.Mapping.NumIntervals())
+	}
+}
+
+// Property (Theorem 5): Algorithm 1 and 2 match the exhaustive optimum on
+// fully homogeneous platforms.
+func TestAlgorithms12MatchExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl, _ := platform.NewFullyHomogeneous(m, 1+rng.Float64()*4, 1+rng.Float64()*4, 0.1+0.8*rng.Float64())
+
+		L := 1 + rng.Float64()*30
+		got, gotErr := poly.Algorithm1(p, pl, L)
+		want, wantErr := MinFPUnderLatency(p, pl, L, Options{})
+		if (gotErr == nil) != (wantErr == nil) {
+			return false
+		}
+		if gotErr == nil && math.Abs(got.Metrics.FailureProb-want.Metrics.FailureProb) > 1e-9 {
+			return false
+		}
+
+		F := rng.Float64()
+		got2, gotErr2 := poly.Algorithm2(p, pl, F)
+		want2, wantErr2 := MinLatencyUnderFP(p, pl, F, Options{})
+		if (gotErr2 == nil) != (wantErr2 == nil) {
+			return false
+		}
+		if gotErr2 == nil && math.Abs(got2.Metrics.Latency-want2.Metrics.Latency) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Theorem 6): Algorithm 3 and 4 match the exhaustive optimum on
+// CommHom + FailureHom platforms.
+func TestAlgorithms34MatchExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		speeds := make([]float64, m)
+		fps := make([]float64, m)
+		fp := 0.1 + 0.8*rng.Float64()
+		for i := range speeds {
+			speeds[i] = 1 + rng.Float64()*9
+			fps[i] = fp
+		}
+		pl, _ := platform.NewCommHomogeneous(speeds, fps, 1+rng.Float64()*4)
+
+		L := 1 + rng.Float64()*30
+		got, gotErr := poly.Algorithm3(p, pl, L)
+		want, wantErr := MinFPUnderLatency(p, pl, L, Options{})
+		if (gotErr == nil) != (wantErr == nil) {
+			return false
+		}
+		if gotErr == nil && math.Abs(got.Metrics.FailureProb-want.Metrics.FailureProb) > 1e-9 {
+			return false
+		}
+
+		F := rng.Float64()
+		got2, gotErr2 := poly.Algorithm4(p, pl, F)
+		want2, wantErr2 := MinLatencyUnderFP(p, pl, F, Options{})
+		if (gotErr2 == nil) != (wantErr2 == nil) {
+			return false
+		}
+		if gotErr2 == nil && math.Abs(got2.Metrics.Latency-want2.Metrics.Latency) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Theorem 2): the exhaustive latency optimum on CommHom
+// platforms is the fastest single processor.
+func TestMinLatencyMatchesTheorem2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0, 1, 1+rng.Float64()*4)
+		want, err := poly.MinLatencyCommHom(p, pl)
+		if err != nil {
+			return false
+		}
+		got, err := MinLatencyInterval(p, pl, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Metrics.Latency-want.Metrics.Latency) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := pipeline.Random(rng, 2, 1, 5, 1, 5)
+	pl := platform.RandomCommHomogeneous(rng, 4, 1, 10, 0.1, 0.9, 2)
+	front, err := ParetoFront(p, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// Sorted by latency, strictly decreasing FP, mutually non-dominated.
+	for i := 1; i < len(front); i++ {
+		if front[i].Metrics.Latency < front[i-1].Metrics.Latency {
+			t.Error("front not sorted by latency")
+		}
+		if front[i].Metrics.FailureProb >= front[i-1].Metrics.FailureProb {
+			t.Error("front FP not strictly decreasing")
+		}
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && front[i].Metrics.Dominates(front[j].Metrics) {
+				t.Errorf("front[%d] dominates front[%d]", i, j)
+			}
+		}
+	}
+	// Extremes agree with the mono-criterion optima.
+	minLat, _ := MinLatencyInterval(p, pl, Options{})
+	if math.Abs(front[0].Metrics.Latency-minLat.Metrics.Latency) > 1e-9 {
+		t.Errorf("front[0] latency %g != optimum %g", front[0].Metrics.Latency, minLat.Metrics.Latency)
+	}
+	minFP, _ := poly.MinFailureProb(p, pl)
+	last := front[len(front)-1]
+	if math.Abs(last.Metrics.FailureProb-minFP.Metrics.FailureProb) > 1e-12 {
+		t.Errorf("front tail FP %g != optimum %g", last.Metrics.FailureProb, minFP.Metrics.FailureProb)
+	}
+}
+
+func TestMinLatencyOneToOneSmall(t *testing.T) {
+	// Fig 3/4 instance: the one-to-one optimum is the split mapping, 7.
+	p := pipeline.MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	pl, _ := platform.NewFullyHeterogeneous(
+		[]float64{1, 1}, []float64{0, 0},
+		[][]float64{{0, 100}, {100, 0}},
+		[]float64{100, 1}, []float64{1, 100})
+	res, err := MinLatencyOneToOne(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 7 {
+		t.Errorf("one-to-one optimum = %g, want 7", res.Latency)
+	}
+	if !res.Mapping.IsOneToOne() {
+		t.Error("result is not one-to-one")
+	}
+}
+
+func TestMinLatencyOneToOneErrors(t *testing.T) {
+	p := pipeline.Uniform(3, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0)
+	if _, err := MinLatencyOneToOne(p, pl); err == nil {
+		t.Error("n > m accepted")
+	}
+	pBig := pipeline.Uniform(11, 1, 1)
+	plBig, _ := platform.NewFullyHomogeneous(12, 1, 1, 0)
+	if _, err := MinLatencyOneToOne(pBig, plBig); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+// Property (Theorem 4): the DP shortest path equals the brute-force
+// general-mapping optimum.
+func TestGeneralBruteMatchesDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		brute, err := MinLatencyGeneralBrute(p, pl)
+		if err != nil {
+			return false
+		}
+		dp := poly.MinLatencyGeneral(p, pl)
+		return math.Abs(brute.Latency-dp.Latency) <= 1e-9*math.Max(1, dp.Latency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLatencyGeneralBruteTooLarge(t *testing.T) {
+	p := pipeline.Uniform(30, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(30, 1, 1, 0)
+	if _, err := MinLatencyGeneralBrute(p, pl); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+// Property: one-to-one optimum ≥ general optimum (one-to-one is a
+// restriction), and interval optimum ≥ general optimum.
+func TestOptimaOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := n + rng.Intn(3)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		gen := poly.MinLatencyGeneral(p, pl)
+		oto, err := MinLatencyOneToOne(p, pl)
+		if err != nil {
+			return false
+		}
+		iv, err := MinLatencyInterval(p, pl, Options{})
+		if err != nil {
+			return false
+		}
+		return oto.Latency >= gen.Latency-1e-9 && iv.Metrics.Latency >= gen.Latency-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfeasibleThresholds(t *testing.T) {
+	p := pipeline.Uniform(2, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0.5)
+	if _, err := MinFPUnderLatency(p, pl, 0.001, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := MinLatencyUnderFP(p, pl, 0.01, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible (0.5^2 = 0.25 > 0.01)", err)
+	}
+}

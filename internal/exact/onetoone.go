@@ -1,0 +1,90 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// GeneralResult pairs a general mapping with its latency.
+type GeneralResult struct {
+	Mapping *mapping.GeneralMapping
+	Latency float64
+}
+
+// MinLatencyOneToOne finds the latency-optimal one-to-one mapping (each
+// stage on a distinct processor) by enumerating all m!/(m−n)! injective
+// assignments. This is the exact oracle for the Theorem 3 NP-hardness
+// construction; instances must stay small (the cost is factorial).
+func MinLatencyOneToOne(p *pipeline.Pipeline, pl *platform.Platform) (GeneralResult, error) {
+	n, m := p.NumStages(), pl.NumProcs()
+	if n > m {
+		return GeneralResult{}, fmt.Errorf("exact: one-to-one needs n ≤ m, got n=%d m=%d", n, m)
+	}
+	if n > 10 && m > 10 {
+		return GeneralResult{}, fmt.Errorf("exact: one-to-one instance too large (n=%d, m=%d)", n, m)
+	}
+	procs := make([]int, n)
+	used := make([]bool, m)
+	best := GeneralResult{Latency: math.Inf(1)}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			g := &mapping.GeneralMapping{ProcOf: procs}
+			lat, err := g.Latency(p, pl)
+			if err == nil && lat < best.Latency {
+				best = GeneralResult{
+					Mapping: &mapping.GeneralMapping{ProcOf: append([]int(nil), procs...)},
+					Latency: lat,
+				}
+			}
+			return
+		}
+		for u := 0; u < m; u++ {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			procs[i] = u
+			rec(i + 1)
+			used[u] = false
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// MinLatencyGeneralBrute finds the latency-optimal general mapping by
+// enumerating all m^n assignments. It exists purely to validate the
+// polynomial shortest-path algorithm of Theorem 4 on small instances.
+func MinLatencyGeneralBrute(p *pipeline.Pipeline, pl *platform.Platform) (GeneralResult, error) {
+	n, m := p.NumStages(), pl.NumProcs()
+	if total := math.Pow(float64(m), float64(n)); total > 2e6 {
+		return GeneralResult{}, fmt.Errorf("exact: m^n = %g too large", total)
+	}
+	procs := make([]int, n)
+	best := GeneralResult{Latency: math.Inf(1)}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			g := &mapping.GeneralMapping{ProcOf: procs}
+			lat, err := g.Latency(p, pl)
+			if err == nil && lat < best.Latency {
+				best = GeneralResult{
+					Mapping: &mapping.GeneralMapping{ProcOf: append([]int(nil), procs...)},
+					Latency: lat,
+				}
+			}
+			return
+		}
+		for u := 0; u < m; u++ {
+			procs[i] = u
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, nil
+}

@@ -1,0 +1,92 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Property: the parallel enumeration produces exactly the sequential
+// Pareto front (same metric sequence) on random instances, regardless of
+// worker count.
+func TestParetoFrontParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64, workersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		workers := 1 + int(workersRaw%7)
+		p := pipeline.Random(rng, n, 1, 5, 1, 5)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0.05, 0.95, 1, 20)
+
+		seq, err := ParetoFront(p, pl, Options{})
+		if err != nil {
+			return false
+		}
+		par, err := ParetoFrontParallel(p, pl, Options{}, workers)
+		if err != nil {
+			return false
+		}
+		if len(seq) != len(par) {
+			return false
+		}
+		for i := range seq {
+			a, b := seq[i].Metrics, par[i].Metrics
+			if math.Abs(a.Latency-b.Latency) > 1e-9 || math.Abs(a.FailureProb-b.FailureProb) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoFrontParallelFig5(t *testing.T) {
+	p, pl := workload.Fig5()
+	front, err := ParetoFrontParallel(p, pl, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The front must contain the paper's two-interval optimum: FP ≈
+	// 0.196637 at latency 22.
+	want := 1 - (1-0.1)*(1-math.Pow(0.8, 10))
+	found := false
+	for _, r := range front {
+		if math.Abs(r.Metrics.Latency-22) < 1e-9 && math.Abs(r.Metrics.FailureProb-want) < 1e-9 {
+			found = true
+		}
+		// Every front mapping must be valid and reproduce its metrics.
+		if err := r.Mapping.Validate(2, 11); err != nil {
+			t.Fatalf("front mapping invalid: %v", err)
+		}
+	}
+	if !found {
+		t.Error("parallel front misses the Figure 5 optimum")
+	}
+}
+
+func TestParetoFrontParallelErrors(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(31, 1, 1, 0.5)
+	p := pipeline.Uniform(2, 1, 1)
+	if _, err := ParetoFrontParallel(p, pl, Options{}, 2); err == nil {
+		t.Error("m=31 accepted")
+	}
+	if _, err := ParetoFrontParallel(&pipeline.Pipeline{}, pl, Options{}, 2); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestParetoFrontParallelDefaultWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := pipeline.Random(rng, 2, 1, 5, 1, 5)
+	pl := platform.RandomCommHomogeneous(rng, 3, 1, 5, 0.1, 0.9, 2)
+	if _, err := ParetoFrontParallel(p, pl, Options{}, 0); err != nil {
+		t.Fatalf("default workers: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package frontier maintains Pareto fronts over the paper's two
+// objectives, latency and failure probability. Fronts are used by the
+// exact solver (reference fronts on small instances), by the heuristics
+// (archives of non-dominated mappings met during search), and by the
+// benchmark harness (trade-off curves).
+package frontier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/mapping"
+)
+
+// Entry is one non-dominated point and the mapping achieving it.
+type Entry struct {
+	Metrics mapping.Metrics
+	Mapping *mapping.Mapping
+}
+
+// Front is a set of mutually non-dominated entries kept sorted by
+// increasing latency (hence strictly decreasing failure probability). The
+// zero value is an empty front ready to use.
+type Front struct {
+	entries []Entry
+}
+
+// Len returns the number of points on the front.
+func (f *Front) Len() int { return len(f.entries) }
+
+// Entries returns the front sorted by increasing latency. The slice is
+// shared; callers must not mutate it.
+func (f *Front) Entries() []Entry { return f.entries }
+
+// Insert offers a point to the front. It returns true when the point is
+// kept (it is not dominated by, nor equal to, any current point); any
+// existing points it dominates are removed. The mapping is cloned so the
+// caller may reuse its buffer.
+func (f *Front) Insert(met mapping.Metrics, m *mapping.Mapping) bool {
+	// Position of the first entry with latency >= met.Latency.
+	i := sort.Search(len(f.entries), func(i int) bool {
+		return f.entries[i].Metrics.Latency >= met.Latency
+	})
+	// Dominated (or duplicated) by something at lower-or-equal latency?
+	if i > 0 {
+		left := f.entries[i-1].Metrics
+		if left.FailureProb <= met.FailureProb {
+			return false // left has ≤ latency and ≤ FP
+		}
+	}
+	if i < len(f.entries) {
+		right := f.entries[i].Metrics
+		if right.Latency == met.Latency && right.FailureProb <= met.FailureProb {
+			return false
+		}
+	}
+	// Remove entries at ≥ latency whose FP is also ≥ (they are dominated).
+	j := i
+	for j < len(f.entries) && f.entries[j].Metrics.FailureProb >= met.FailureProb {
+		j++
+	}
+	var mp *mapping.Mapping
+	if m != nil {
+		mp = m.Clone()
+	}
+	entry := Entry{Metrics: met, Mapping: mp}
+	f.entries = append(f.entries[:i], append([]Entry{entry}, f.entries[j:]...)...)
+	return true
+}
+
+// Merge inserts every entry of other into f and reports how many were
+// kept.
+func (f *Front) Merge(other *Front) int {
+	kept := 0
+	for _, e := range other.entries {
+		if f.Insert(e.Metrics, e.Mapping) {
+			kept++
+		}
+	}
+	return kept
+}
+
+// Covers reports whether every point of other is dominated by or equal to
+// some point of f (i.e. f is at least as good everywhere).
+func (f *Front) Covers(other *Front) bool {
+	for _, e := range other.entries {
+		ok := false
+		for _, mine := range f.entries {
+			if mine.Metrics == e.Metrics || mine.Metrics.Dominates(e.Metrics) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Hypervolume returns the area dominated by the front inside the
+// rectangle bounded by the reference point (refLatency, refFP): the
+// standard 2-objective quality indicator (larger is better). Points
+// outside the reference box contribute nothing.
+func (f *Front) Hypervolume(refLatency, refFP float64) float64 {
+	hv := 0.0
+	prevFP := refFP
+	for _, e := range f.entries {
+		lat := e.Metrics.Latency
+		fp := math.Min(e.Metrics.FailureProb, prevFP)
+		if lat >= refLatency || fp >= prevFP {
+			continue
+		}
+		hv += (refLatency - lat) * (prevFP - fp)
+		prevFP = fp
+	}
+	return hv
+}
+
+// String renders the front as "(lat, fp) (lat, fp) ...".
+func (f *Front) String() string {
+	var b strings.Builder
+	for i, e := range f.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%.4g, %.4g)", e.Metrics.Latency, e.Metrics.FailureProb)
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package frontier
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+)
+
+func met(lat, fp float64) mapping.Metrics {
+	return mapping.Metrics{Latency: lat, FailureProb: fp}
+}
+
+func TestInsertBasics(t *testing.T) {
+	var f Front
+	if !f.Insert(met(10, 0.5), nil) {
+		t.Fatal("first insert rejected")
+	}
+	if f.Insert(met(11, 0.6), nil) {
+		t.Error("dominated point kept")
+	}
+	if f.Insert(met(10, 0.5), nil) {
+		t.Error("duplicate point kept")
+	}
+	if !f.Insert(met(5, 0.9), nil) {
+		t.Error("incomparable point rejected")
+	}
+	if !f.Insert(met(20, 0.1), nil) {
+		t.Error("incomparable point rejected")
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	// A dominating point removes two of the three.
+	if !f.Insert(met(4, 0.4), nil) {
+		t.Error("dominating point rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d after dominating insert, want 2", f.Len())
+	}
+	es := f.Entries()
+	if es[0].Metrics != met(4, 0.4) || es[1].Metrics != met(20, 0.1) {
+		t.Errorf("unexpected front: %v", f.String())
+	}
+}
+
+func TestInsertEqualLatency(t *testing.T) {
+	var f Front
+	f.Insert(met(10, 0.5), nil)
+	if f.Insert(met(10, 0.7), nil) {
+		t.Error("same latency, worse FP kept")
+	}
+	if !f.Insert(met(10, 0.3), nil) {
+		t.Error("same latency, better FP rejected")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+	if f.Entries()[0].Metrics.FailureProb != 0.3 {
+		t.Error("better point did not replace worse")
+	}
+}
+
+func TestInsertClonesMapping(t *testing.T) {
+	var f Front
+	m := mapping.NewSingleInterval(2, []int{0})
+	f.Insert(met(1, 0.5), m)
+	m.Alloc[0][0] = 7
+	if f.Entries()[0].Mapping.Alloc[0][0] == 7 {
+		t.Error("front shares mapping memory with caller")
+	}
+}
+
+// Property: after random insertions the front is sorted by latency with
+// strictly decreasing FP and no internal dominance.
+func TestFrontInvariant(t *testing.T) {
+	f2 := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var f Front
+		for i := 0; i < 60; i++ {
+			f.Insert(met(math.Round(rng.Float64()*20), math.Round(rng.Float64()*100)/100), nil)
+		}
+		es := f.Entries()
+		for i := 1; i < len(es); i++ {
+			if es[i].Metrics.Latency <= es[i-1].Metrics.Latency {
+				return false
+			}
+			if es[i].Metrics.FailureProb >= es[i-1].Metrics.FailureProb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the front dominates or equals every point ever offered.
+func TestFrontCoversAllOffered(t *testing.T) {
+	f2 := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var f Front
+		var offered []mapping.Metrics
+		for i := 0; i < 40; i++ {
+			m := met(rng.Float64()*20, rng.Float64())
+			offered = append(offered, m)
+			f.Insert(m, nil)
+		}
+		for _, m := range offered {
+			ok := false
+			for _, e := range f.Entries() {
+				if e.Metrics == m || e.Metrics.Dominates(m) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAndCovers(t *testing.T) {
+	var a, b Front
+	a.Insert(met(1, 0.9), nil)
+	a.Insert(met(5, 0.5), nil)
+	b.Insert(met(5, 0.5), nil)
+	b.Insert(met(10, 0.1), nil)
+	if a.Covers(&b) {
+		t.Error("a should not cover b (b has (10,0.1))")
+	}
+	kept := a.Merge(&b)
+	if kept != 1 {
+		t.Errorf("Merge kept %d, want 1", kept)
+	}
+	if !a.Covers(&b) {
+		t.Error("after merge a must cover b")
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3", a.Len())
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	var f Front
+	f.Insert(met(2, 0.5), nil)
+	f.Insert(met(4, 0.25), nil)
+	// Reference (10, 1): HV = (10-2)·(1-0.5) + (10-4)·(0.5-0.25) = 4 + 1.5.
+	if hv := f.Hypervolume(10, 1); math.Abs(hv-5.5) > 1e-12 {
+		t.Errorf("HV = %g, want 5.5", hv)
+	}
+	// Points outside the box contribute nothing.
+	if hv := f.Hypervolume(1, 1); hv != 0 {
+		t.Errorf("HV with tight box = %g, want 0", hv)
+	}
+	var empty Front
+	if empty.Hypervolume(10, 1) != 0 {
+		t.Error("empty front HV should be 0")
+	}
+}
+
+// Property: merging can only grow the hypervolume.
+func TestHypervolumeMonotoneUnderMerge(t *testing.T) {
+	f2 := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b Front
+		for i := 0; i < 20; i++ {
+			a.Insert(met(rng.Float64()*10, rng.Float64()), nil)
+			b.Insert(met(rng.Float64()*10, rng.Float64()), nil)
+		}
+		before := a.Hypervolume(12, 1.1)
+		a.Merge(&b)
+		after := a.Hypervolume(12, 1.1)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var f Front
+	f.Insert(met(1.5, 0.25), nil)
+	if s := f.String(); !strings.Contains(s, "1.5") || !strings.Contains(s, "0.25") {
+		t.Errorf("String = %q", s)
+	}
+}

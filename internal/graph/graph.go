@@ -1,0 +1,118 @@
+// Package graph provides the small graph toolbox the reproduction needs:
+// a binary-heap Dijkstra, the layered DAG of the paper's Figure 6 (used by
+// Theorem 4's polynomial algorithm for general mappings), and a Held–Karp
+// dynamic program for minimum-cost Hamiltonian paths (used to validate the
+// Theorem 3 NP-hardness reduction from TSP).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a directed graph in adjacency-list form with float64 weights.
+type Graph struct {
+	Adj [][]Edge
+}
+
+// New creates a graph with n vertices and no edges.
+func New(n int) *Graph { return &Graph{Adj: make([][]Edge, n)} }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Adj) }
+
+// AddEdge appends a directed edge u -> v with weight w. Negative weights
+// are rejected (Dijkstra requirement).
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= len(g.Adj) || v < 0 || v >= len(g.Adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.Adj))
+	}
+	if w < 0 || math.IsNaN(w) {
+		return fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, v, w)
+	}
+	g.Adj[u] = append(g.Adj[u], Edge{To: v, Weight: w})
+	return nil
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+// pq implements heap.Interface over pqItem, ordered by dist.
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from src. It returns the
+// distance slice (math.Inf(1) for unreachable vertices) and the
+// predecessor slice (-1 when undefined). Lazy deletion is used: stale heap
+// entries are skipped on pop.
+func (g *Graph) Dijkstra(src int) (dist []float64, prev []int) {
+	n := len(g.Adj)
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.Adj[it.v] {
+			if nd := it.dist + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.v
+				heap.Push(q, pqItem{v: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// Path reconstructs the shortest path from the Dijkstra predecessor array,
+// ending at dst. It returns nil if dst is unreachable.
+func Path(prev []int, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := g.AddEdge(0, 2, 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := g.AddEdge(0, 1, -0.5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if g.NumVertices() != 2 {
+		t.Errorf("NumVertices = %d, want 2", g.NumVertices())
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	// 0 →(1) 1 →(2) 3;  0 →(4) 2 →(1) 3;  0 →(10) 3
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	dist, prev := g.Dijkstra(0)
+	want := []float64{0, 1, 4, 3}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %g, want %g", v, dist[v], d)
+		}
+	}
+	path := Path(prev, 0, 3)
+	wantPath := []int{0, 1, 3}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", path, wantPath)
+	}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", path, wantPath)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	dist, prev := g.Dijkstra(0)
+	if !math.IsInf(dist[2], 1) {
+		t.Errorf("dist[2] = %g, want +Inf", dist[2])
+	}
+	if Path(prev, 0, 2) != nil {
+		t.Error("Path to unreachable vertex should be nil")
+	}
+	if p := Path(prev, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("Path(src,src) = %v, want [0]", p)
+	}
+}
+
+// TestDijkstraAgainstBellmanFord cross-validates Dijkstra with a naive
+// Bellman–Ford on random graphs.
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			deg := rng.Intn(4)
+			for e := 0; e < deg; e++ {
+				g.AddEdge(u, rng.Intn(n), rng.Float64()*10)
+			}
+		}
+		dist, _ := g.Dijkstra(0)
+		bf := bellmanFord(g, 0)
+		for v := 0; v < n; v++ {
+			dv, bv := dist[v], bf[v]
+			if math.IsInf(dv, 1) != math.IsInf(bv, 1) {
+				return false
+			}
+			if !math.IsInf(dv, 1) && math.Abs(dv-bv) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bellmanFord(g *Graph, src int) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, e := range g.Adj[u] {
+				if nd := dist[u] + e.Weight; nd < dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestHamiltonianPathTriangle(t *testing.T) {
+	// 3 vertices; best path 0→2→1 costs 1+1=2 versus direct order 0→1→2 = 5+1.
+	cost := [][]float64{
+		{0, 5, 1},
+		{9, 0, 9},
+		{9, 1, 0},
+	}
+	c, order, err := HamiltonianPath(cost, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 2 {
+		t.Errorf("cost = %g, want 2", c)
+	}
+	want := []int{0, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHamiltonianPathErrors(t *testing.T) {
+	if _, _, err := HamiltonianPath(nil, 0, 0); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	big := make([][]float64, MaxHeldKarp+1)
+	for i := range big {
+		big[i] = make([]float64, MaxHeldKarp+1)
+	}
+	if _, _, err := HamiltonianPath(big, 0, 1); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, _, err := HamiltonianPath([][]float64{{0, 1}, {1}}, 0, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := HamiltonianPath([][]float64{{0, 1}, {1, 0}}, 0, 2); err == nil {
+		t.Error("endpoint out of range accepted")
+	}
+	if _, _, err := HamiltonianPath([][]float64{{0, 1}, {1, 0}}, 0, 0); err == nil {
+		t.Error("s == t with n > 1 accepted")
+	}
+	if c, order, err := HamiltonianPath([][]float64{{0}}, 0, 0); err != nil || c != 0 || len(order) != 1 {
+		t.Errorf("single vertex: got (%g,%v,%v)", c, order, err)
+	}
+	if _, _, err := HamiltonianPath([][]float64{{0}}, 0, 1); err == nil {
+		t.Error("single vertex with bad endpoint accepted")
+	}
+}
+
+// TestHamiltonianPathAgainstBruteForce validates Held–Karp against
+// permutation enumeration on random instances.
+func TestHamiltonianPathAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for u := range cost {
+			cost[u] = make([]float64, n)
+			for v := range cost[u] {
+				if u != v {
+					cost[u][v] = 1 + rng.Float64()*9
+				}
+			}
+		}
+		s := rng.Intn(n)
+		t2 := (s + 1 + rng.Intn(n-1)) % n
+		got, order, err := HamiltonianPath(cost, s, t2)
+		if err != nil {
+			return false
+		}
+		// Path must be a valid s→t Hamiltonian order with matching cost.
+		if order[0] != s || order[len(order)-1] != t2 || len(order) != n {
+			return false
+		}
+		sum := 0.0
+		seen := make([]bool, n)
+		for i, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			if i > 0 {
+				sum += cost[order[i-1]][v]
+			}
+		}
+		if math.Abs(sum-got) > 1e-9 {
+			return false
+		}
+		want := bruteHamiltonian(cost, s, t2)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteHamiltonian(cost [][]float64, s, t int) float64 {
+	n := len(cost)
+	var mids []int
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			mids = append(mids, v)
+		}
+	}
+	best := math.Inf(1)
+	var rec func(order []int, rest []int)
+	rec = func(order []int, rest []int) {
+		if len(rest) == 0 {
+			sum := 0.0
+			prevV := s
+			for _, v := range order {
+				sum += cost[prevV][v]
+				prevV = v
+			}
+			sum += cost[prevV][t]
+			if sum < best {
+				best = sum
+			}
+			return
+		}
+		for i := range rest {
+			next := append(append([]int{}, rest[:i]...), rest[i+1:]...)
+			rec(append(order, rest[i]), next)
+		}
+	}
+	rec(nil, mids)
+	return best
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// The layered DAG of the paper's Figure 6 encodes general mappings as
+// paths: vertex V_{i,u} means "stage i runs on processor u". A path from
+// the source (V_{0,in}) to the sink (V_{n+1,out}) selects one processor per
+// stage; edge weights are chosen so the path weight equals the mapping's
+// latency:
+//
+//	source → V_{1,u}:  δ_0 / b_{in,u}
+//	V_{i,u} → V_{i+1,v}:  w_i/s_u  +  (δ_i / b_{u,v}  if u ≠ v, else 0)
+//	V_{n,u} → sink:  w_n/s_u + δ_n / b_{u,out}
+//
+// LayeredVertexID maps (stage i, processor u) to a vertex id; the source
+// is 0 and the sink is n·m + 1.
+
+// LayeredSource is the vertex id of V_{0,in}.
+const LayeredSource = 0
+
+// LayeredVertexID returns the vertex id of V_{i+1,u} for 0-based stage i
+// on processor u, in a pipeline of n stages on m processors.
+func LayeredVertexID(i, u, m int) int { return 1 + i*m + u }
+
+// LayeredSink returns the sink vertex id for n stages on m processors.
+func LayeredSink(n, m int) int { return 1 + n*m }
+
+// BuildLayered constructs the Figure-6 graph for the given application and
+// platform. The graph has n·m + 2 vertices and (n−1)·m² + 2m edges.
+func BuildLayered(p *pipeline.Pipeline, pl *platform.Platform) *Graph {
+	n, m := p.NumStages(), pl.NumProcs()
+	g := New(n*m + 2)
+	for u := 0; u < m; u++ {
+		// source → V_{1,u}
+		mustAdd(g, LayeredSource, LayeredVertexID(0, u, m), p.Delta[0]/pl.BIn[u])
+	}
+	for i := 0; i+1 < n; i++ {
+		for u := 0; u < m; u++ {
+			comp := p.W[i] / pl.Speed[u]
+			for v := 0; v < m; v++ {
+				w := comp
+				if u != v {
+					w += p.Delta[i+1] / pl.B[u][v]
+				}
+				mustAdd(g, LayeredVertexID(i, u, m), LayeredVertexID(i+1, v, m), w)
+			}
+		}
+	}
+	last := n - 1
+	for u := 0; u < m; u++ {
+		w := p.W[last]/pl.Speed[u] + p.Delta[n]/pl.BOut[u]
+		mustAdd(g, LayeredVertexID(last, u, m), LayeredSink(n, m), w)
+	}
+	return g
+}
+
+func mustAdd(g *Graph, u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err) // construction bug, not user input
+	}
+}
+
+// LayeredShortestPathDP solves the layered graph directly with a
+// layer-by-layer dynamic program in O(n·m²) time and O(m) extra space,
+// avoiding the heap overhead of Dijkstra. It returns the minimum latency
+// and, for each stage, the chosen processor.
+func LayeredShortestPathDP(p *pipeline.Pipeline, pl *platform.Platform) (float64, []int) {
+	n, m := p.NumStages(), pl.NumProcs()
+	dist := make([]float64, m)
+	prev := make([][]int, n) // prev[i][u] = processor of stage i-1 on the best path reaching V_{i,u}
+	for u := 0; u < m; u++ {
+		dist[u] = p.Delta[0] / pl.BIn[u]
+	}
+	next := make([]float64, m)
+	for i := 0; i+1 < n; i++ {
+		prev[i+1] = make([]int, m)
+		for v := 0; v < m; v++ {
+			next[v] = math.Inf(1)
+		}
+		for u := 0; u < m; u++ {
+			comp := dist[u] + p.W[i]/pl.Speed[u]
+			for v := 0; v < m; v++ {
+				w := comp
+				if u != v {
+					w += p.Delta[i+1] / pl.B[u][v]
+				}
+				if w < next[v] {
+					next[v] = w
+					prev[i+1][v] = u
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+	best := math.Inf(1)
+	bestU := -1
+	last := n - 1
+	for u := 0; u < m; u++ {
+		w := dist[u] + p.W[last]/pl.Speed[u] + p.Delta[n]/pl.BOut[u]
+		if w < best {
+			best = w
+			bestU = u
+		}
+	}
+	procs := make([]int, n)
+	procs[last] = bestU
+	for i := last; i > 0; i-- {
+		procs[i-1] = prev[i][procs[i]]
+	}
+	return best, procs
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+func randomInstance(seed int64, maxN, maxM int) (*pipeline.Pipeline, *platform.Platform, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	m := 1 + rng.Intn(maxM)
+	p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 50)
+	return p, pl, rng
+}
+
+func TestBuildLayeredShape(t *testing.T) {
+	p := pipeline.Uniform(3, 1, 1)
+	pl := platform.RandomFullyHeterogeneous(rand.New(rand.NewSource(1)), 4, 1, 2, 0, 1, 1, 2)
+	g := BuildLayered(p, pl)
+	n, m := 3, 4
+	if got, want := g.NumVertices(), n*m+2; got != want {
+		t.Errorf("NumVertices = %d, want %d", got, want)
+	}
+	edges := 0
+	for _, adj := range g.Adj {
+		edges += len(adj)
+	}
+	if want := (n-1)*m*m + 2*m; edges != want {
+		t.Errorf("edges = %d, want %d (paper: (n−1)m²+2m)", edges, want)
+	}
+}
+
+// TestLayeredPathWeightEqualsLatency: any source→sink path's weight equals
+// the latency of the general mapping it encodes.
+func TestLayeredPathWeightEqualsLatency(t *testing.T) {
+	f := func(seed int64) bool {
+		p, pl, rng := randomInstance(seed, 5, 5)
+		n, m := p.NumStages(), pl.NumProcs()
+		procs := make([]int, n)
+		for i := range procs {
+			procs[i] = rng.Intn(m)
+		}
+		// Walk the path in the layered graph, summing weights.
+		g := BuildLayered(p, pl)
+		sum := 0.0
+		cur := LayeredSource
+		for i := 0; i <= n; i++ {
+			var target int
+			if i < n {
+				target = LayeredVertexID(i, procs[i], m)
+			} else {
+				target = LayeredSink(n, m)
+			}
+			found := false
+			for _, e := range g.Adj[cur] {
+				if e.To == target {
+					sum += e.Weight
+					cur = target
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		gm := &mapping.GeneralMapping{ProcOf: procs}
+		lat, err := gm.Latency(p, pl)
+		if err != nil {
+			return false
+		}
+		return math.Abs(sum-lat) <= 1e-9*math.Max(1, lat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDPMatchesDijkstra: the O(n·m²) DP and Dijkstra over the explicit
+// graph must agree on the optimum.
+func TestDPMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		p, pl, _ := randomInstance(seed, 6, 6)
+		n, m := p.NumStages(), pl.NumProcs()
+		g := BuildLayered(p, pl)
+		dist, _ := g.Dijkstra(LayeredSource)
+		viaDijkstra := dist[LayeredSink(n, m)]
+		viaDP, procs := LayeredShortestPathDP(p, pl)
+		if math.Abs(viaDijkstra-viaDP) > 1e-9*math.Max(1, viaDP) {
+			return false
+		}
+		// The DP's processor choice must achieve its reported latency.
+		gm := &mapping.GeneralMapping{ProcOf: procs}
+		lat, err := gm.Latency(p, pl)
+		if err != nil {
+			return false
+		}
+		return math.Abs(lat-viaDP) <= 1e-9*math.Max(1, viaDP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDPOptimalSmall: exhaustive m^n enumeration confirms the DP optimum
+// on small instances.
+func TestDPOptimalSmall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 50)
+		got, _ := LayeredShortestPathDP(p, pl)
+		best := math.Inf(1)
+		procs := make([]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				gm := &mapping.GeneralMapping{ProcOf: procs}
+				if lat, err := gm.Latency(p, pl); err == nil && lat < best {
+					best = lat
+				}
+				return
+			}
+			for u := 0; u < m; u++ {
+				procs[i] = u
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		return math.Abs(got-best) <= 1e-9*math.Max(1, best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayeredSingleStage(t *testing.T) {
+	p := pipeline.MustNew([]float64{6}, []float64{2, 4})
+	pl, err := platform.NewFullyHeterogeneous(
+		[]float64{2, 3},
+		[]float64{0, 0},
+		[][]float64{{0, 1}, {1, 0}},
+		[]float64{1, 2},
+		[]float64{4, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, procs := LayeredShortestPathDP(p, pl)
+	// P0: 2/1 + 6/2 + 4/4 = 6;  P1: 2/2 + 6/3 + 4/1 = 7.
+	if lat != 6 || procs[0] != 0 {
+		t.Errorf("got latency %g on P%d, want 6 on P0", lat, procs[0]+1)
+	}
+}

@@ -1,0 +1,287 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/frontier"
+	"repro/internal/mapping"
+)
+
+// AnnealConfig tunes the simulated-annealing solver. The zero value is
+// replaced by sensible defaults (see the field comments).
+type AnnealConfig struct {
+	Seed     int64   // RNG seed (default 1)
+	Iters    int     // iterations per restart (default 2000)
+	Restarts int     // independent restarts (default 4)
+	InitTemp float64 // initial temperature on the normalized cost (default 0.3)
+	Cooling  float64 // geometric cooling factor per iteration (default so temp ends near 1e-3)
+	// Archive, when non-nil, collects every feasible mapping met during
+	// the search into a Pareto front (used for trade-off curves).
+	Archive *frontier.Front
+}
+
+func (c AnnealConfig) withDefaults() AnnealConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Iters <= 0 {
+		c.Iters = 2000
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 4
+	}
+	if c.InitTemp <= 0 {
+		c.InitTemp = 0.3
+	}
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		// Reach ~1e-3 of InitTemp by the last iteration.
+		c.Cooling = math.Pow(1e-3, 1/float64(c.Iters))
+	}
+	return c
+}
+
+// Anneal runs repair-based simulated annealing over the space of interval
+// mappings. Infeasible states are admitted during the walk (with a large
+// penalty) so the search can cross infeasible ridges; only feasible states
+// are recorded. HillClimb is the InitTemp→0 special case.
+func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	best := Result{}
+	found := false
+	record := func(m *mapping.Mapping, met mapping.Metrics) {
+		if cfg.Archive != nil {
+			cfg.Archive.Insert(met, m)
+		}
+		if !pr.feasible(met) {
+			return
+		}
+		if !found || pr.better(met, best.Metrics) {
+			best = Result{Mapping: m.Clone(), Metrics: met}
+			found = true
+		}
+	}
+
+	// Normalization scale for latency costs: the single-interval latency
+	// on the fastest processor (a reasonable magnitude for the instance).
+	ref := mapping.NewSingleInterval(pr.Pipe.NumStages(), []int{pr.Plat.FastestProc()})
+	refMet, ok := pr.evaluate(ref)
+	if !ok {
+		return Result{}, ErrNotFound
+	}
+	latScale := math.Max(refMet.Latency, 1e-12)
+
+	cost := func(met mapping.Metrics) float64 {
+		if pr.Goal == MinFP {
+			if leqTol(met.Latency, pr.Bound) {
+				return met.FailureProb
+			}
+			return 2 + (met.Latency-pr.Bound)/latScale // any feasible beats any infeasible
+		}
+		if met.FailureProb <= pr.Bound+1e-12 {
+			return met.Latency / latScale
+		}
+		return 2 + refMet.Latency/latScale + (met.FailureProb - pr.Bound)
+	}
+
+	for r := 0; r < cfg.Restarts; r++ {
+		cur := randomState(rng, pr)
+		curMet, ok := pr.evaluate(cur)
+		if !ok {
+			continue
+		}
+		record(cur, curMet)
+		curCost := cost(curMet)
+		temp := cfg.InitTemp
+		for it := 0; it < cfg.Iters; it++ {
+			next := neighbor(rng, pr, cur)
+			if next == nil {
+				temp *= cfg.Cooling
+				continue
+			}
+			nextMet, ok := pr.evaluate(next)
+			if !ok {
+				temp *= cfg.Cooling
+				continue
+			}
+			record(next, nextMet)
+			nextCost := cost(nextMet)
+			if accept(rng, curCost, nextCost, temp) {
+				cur, curMet, curCost = next, nextMet, nextCost
+			}
+			temp *= cfg.Cooling
+		}
+	}
+	if !found {
+		return Result{}, ErrNotFound
+	}
+	return best, nil
+}
+
+// HillClimb is Anneal at zero temperature: only strictly improving moves
+// are accepted. It keeps the restarts/iterations of cfg.
+func HillClimb(pr *Problem, cfg AnnealConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.InitTemp = 1e-300 // effectively zero: exp(-Δ/T) vanishes for any Δ>0
+	cfg.Cooling = 0.999999
+	return Anneal(pr, cfg)
+}
+
+func accept(rng *rand.Rand, cur, next, temp float64) bool {
+	if next <= cur {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-(next-cur)/temp)
+}
+
+// randomState draws a random valid interval mapping: a random number of
+// intervals (biased toward few), one random distinct processor per
+// interval, then each remaining processor joins a random interval with
+// probability ½.
+func randomState(rng *rand.Rand, pr *Problem) *mapping.Mapping {
+	n, m := pr.Pipe.NumStages(), pr.Plat.NumProcs()
+	maxP := n
+	if m < maxP {
+		maxP = m
+	}
+	p := 1
+	for p < maxP && rng.Float64() < 0.35 {
+		p++
+	}
+	cuts := rng.Perm(n - 1)
+	if len(cuts) > p-1 {
+		cuts = cuts[:p-1]
+	} else {
+		p = len(cuts) + 1
+	}
+	sortInts(cuts)
+	mp := &mapping.Mapping{}
+	start := 0
+	for j := 0; j < p; j++ {
+		end := n - 1
+		if j < p-1 {
+			end = cuts[j]
+		}
+		mp.Intervals = append(mp.Intervals, mapping.Interval{First: start, Last: end})
+		start = end + 1
+	}
+	procs := rng.Perm(m)
+	mp.Alloc = make([][]int, p)
+	for j := 0; j < p; j++ {
+		mp.Alloc[j] = []int{procs[j]}
+	}
+	for _, u := range procs[p:] {
+		if rng.Float64() < 0.5 {
+			j := rng.Intn(p)
+			mp.Alloc[j] = append(mp.Alloc[j], u)
+		}
+	}
+	return mp
+}
+
+// neighbor returns a random single-move variation of m, or nil when the
+// drawn move is inapplicable (caller retries next iteration).
+func neighbor(rng *rand.Rand, pr *Problem, m *mapping.Mapping) *mapping.Mapping {
+	free := unusedProcs(m, pr.Plat.NumProcs())
+	switch rng.Intn(5) {
+	case 0: // add an unused processor to a random interval
+		if len(free) == 0 {
+			return nil
+		}
+		next := m.Clone()
+		j := rng.Intn(len(next.Alloc))
+		next.Alloc[j] = append(next.Alloc[j], free[rng.Intn(len(free))])
+		return next
+	case 1: // remove a random replica
+		j := rng.Intn(len(m.Alloc))
+		if len(m.Alloc[j]) < 2 {
+			return nil
+		}
+		next := m.Clone()
+		i := rng.Intn(len(next.Alloc[j]))
+		next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
+		return next
+	case 2: // move a replica to another interval
+		if len(m.Alloc) < 2 {
+			return nil
+		}
+		j := rng.Intn(len(m.Alloc))
+		if len(m.Alloc[j]) < 2 {
+			return nil
+		}
+		j2 := rng.Intn(len(m.Alloc))
+		if j2 == j {
+			return nil
+		}
+		next := m.Clone()
+		i := rng.Intn(len(next.Alloc[j]))
+		u := next.Alloc[j][i]
+		next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
+		next.Alloc[j2] = append(next.Alloc[j2], u)
+		return next
+	case 3: // split a random interval at a random point
+		j := rng.Intn(len(m.Intervals))
+		iv := m.Intervals[j]
+		if iv.Len() < 2 {
+			return nil
+		}
+		cut := iv.First + 1 + rng.Intn(iv.Len()-1)
+		if len(m.Alloc[j]) >= 2 && (len(free) == 0 || rng.Float64() < 0.5) {
+			k := len(m.Alloc[j])
+			right := append([]int(nil), m.Alloc[j][k/2:]...)
+			return splitSelf(m, j, cut, right)
+		}
+		if len(free) == 0 {
+			return nil
+		}
+		u := free[rng.Intn(len(free))]
+		if rng.Float64() < 0.5 {
+			return splitNewLeft(m, j, cut, u)
+		}
+		return splitNewRight(m, j, cut, u)
+	default: // merge two adjacent intervals
+		if len(m.Intervals) < 2 {
+			return nil
+		}
+		j := rng.Intn(len(m.Intervals) - 1)
+		next := m.Clone()
+		next.Intervals[j].Last = next.Intervals[j+1].Last
+		next.Alloc[j] = append(next.Alloc[j], next.Alloc[j+1]...)
+		next.Intervals = append(next.Intervals[:j+1], next.Intervals[j+2:]...)
+		next.Alloc = append(next.Alloc[:j+1], next.Alloc[j+2:]...)
+		return next
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ParetoSearch runs Anneal once per goal direction with an archive and
+// returns the combined Pareto front of all feasible mappings encountered.
+// The bounds are set wide open so the archive explores the whole
+// trade-off curve.
+func ParetoSearch(pr *Problem, cfg AnnealConfig) *frontier.Front {
+	front := &frontier.Front{}
+	cfg = cfg.withDefaults()
+	cfg.Archive = front
+	wide := *pr
+	wide.Goal = MinFP
+	wide.Bound = math.Inf(1)
+	Anneal(&wide, cfg)
+	wide2 := *pr
+	wide2.Goal = MinLatency
+	wide2.Bound = 1
+	cfg.Seed++
+	Anneal(&wide2, cfg)
+	return front
+}

@@ -1,0 +1,111 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// BeamSearchMinLatency is a scalable heuristic for the open problem of
+// latency-minimal interval mappings on Fully Heterogeneous platforms
+// (paper §4.1). It runs the Theorem 4 layer dynamic program but over
+// *valid* partial interval mappings — tracking the set of processors
+// already used — and keeps only the beamWidth lowest-latency partial
+// states per stage boundary. With an unbounded beam this would be exact
+// (at exponential cost); with a small beam it is polynomial:
+// O(n² · beam · m) expansions.
+//
+// The search uses singleton replica sets (replication cannot lower
+// latency) and requires m ≤ 64 (the used set is a bitmask). A partial
+// state's cost is the latency accumulated up to its cut, excluding the
+// pending outgoing communication (charged on expansion, when the next
+// processor is known), so states at the same boundary are comparable.
+func BeamSearchMinLatency(p *pipeline.Pipeline, pl *platform.Platform, beamWidth int) (Result, error) {
+	n, m := p.NumStages(), pl.NumProcs()
+	if m > 64 {
+		return Result{}, fmt.Errorf("heuristics: beam search supports m ≤ 64, got %d", m)
+	}
+	if beamWidth <= 0 {
+		beamWidth = 16
+	}
+
+	type beamState struct {
+		lat      float64
+		lastProc int    // processor of the last interval (-1 at the root)
+		used     uint64 // bitmask of enrolled processors
+		cuts     []int  // first stage of each interval so far
+		procs    []int  // processor of each interval so far
+	}
+
+	beams := make([][]beamState, n+1)
+	beams[0] = []beamState{{lastProc: -1}}
+
+	prune := func(states []beamState) []beamState {
+		if len(states) <= beamWidth {
+			return states
+		}
+		sort.Slice(states, func(i, j int) bool { return states[i].lat < states[j].lat })
+		return states[:beamWidth]
+	}
+
+	for boundary := 0; boundary < n; boundary++ {
+		beams[boundary] = prune(beams[boundary])
+		for _, st := range beams[boundary] {
+			in := p.InputSize(boundary)
+			for u := 0; u < m; u++ {
+				if st.used&(1<<uint(u)) != 0 {
+					continue
+				}
+				var comm float64
+				if st.lastProc == -1 {
+					comm = in / pl.BIn[u]
+				} else {
+					comm = in / pl.B[st.lastProc][u]
+				}
+				base := st.lat + comm
+				cuts := append(append([]int(nil), st.cuts...), boundary)
+				procs := append(append([]int(nil), st.procs...), u)
+				for end := boundary; end < n; end++ {
+					beams[end+1] = append(beams[end+1], beamState{
+						lat:      base + p.Work(boundary, end)/pl.Speed[u],
+						lastProc: u,
+						used:     st.used | 1<<uint(u),
+						cuts:     cuts,
+						procs:    procs,
+					})
+				}
+			}
+		}
+	}
+
+	final := beams[n]
+	if len(final) == 0 {
+		return Result{}, ErrNotFound
+	}
+	best, bestLat := -1, math.Inf(1)
+	for i, st := range final {
+		lat := st.lat + p.OutputSize(n-1)/pl.BOut[st.lastProc]
+		if lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	st := final[best]
+	mp := &mapping.Mapping{}
+	for i, start := range st.cuts {
+		last := n - 1
+		if i+1 < len(st.cuts) {
+			last = st.cuts[i+1] - 1
+		}
+		mp.Intervals = append(mp.Intervals, mapping.Interval{First: start, Last: last})
+		mp.Alloc = append(mp.Alloc, []int{st.procs[i]})
+	}
+	met, err := mapping.Evaluate(p, pl, mp)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapping: mp, Metrics: met}, nil
+}

@@ -1,0 +1,105 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+func TestBeamSearchFig34(t *testing.T) {
+	p, pl := fig34()
+	res, err := BeamSearchMinLatency(p, pl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Latency-7) > 1e-9 {
+		t.Errorf("beam latency = %g, want 7", res.Metrics.Latency)
+	}
+	if err := res.Mapping.Validate(2, 2); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+}
+
+// Property: the beam result is a valid interval mapping whose latency is
+// never below the exact optimum, and a generous beam finds the optimum on
+// small instances.
+func TestBeamSearchAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := pipeline.Random(rng, n, 1, 10, 1, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		res, err := BeamSearchMinLatency(p, pl, 64) // generous beam: exact here
+		if err != nil {
+			return false
+		}
+		if res.Mapping.Validate(n, m) != nil {
+			return false
+		}
+		ex, err := exact.MinLatencyInterval(p, pl, exact.Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Metrics.Latency-ex.Metrics.Latency) <= 1e-9*math.Max(1, ex.Metrics.Latency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening the beam never worsens the result.
+func TestBeamMonotoneInWidth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		p := pipeline.Random(rng, n, 1, 10, 1, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		narrow, err1 := BeamSearchMinLatency(p, pl, 2)
+		wide, err2 := BeamSearchMinLatency(p, pl, 32)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return wide.Metrics.Latency <= narrow.Metrics.Latency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeamSearchDefaultsAndErrors(t *testing.T) {
+	p := pipeline.Uniform(3, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(3, 1, 1, 0.1)
+	if _, err := BeamSearchMinLatency(p, pl, 0); err != nil {
+		t.Errorf("default beam width failed: %v", err)
+	}
+	// n > m still works (intervals are mandatory).
+	p2 := pipeline.Uniform(5, 1, 1)
+	pl2, _ := platform.NewFullyHomogeneous(2, 1, 1, 0.1)
+	res, err := BeamSearchMinLatency(p2, pl2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(5, 2); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+}
+
+func TestBeamScalesToLargeInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := pipeline.Random(rng, 32, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, 48, 1, 10, 0, 1, 1, 20)
+	res, err := BeamSearchMinLatency(p, pl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(32, 48); err != nil {
+		t.Fatalf("invalid mapping at scale: %v", err)
+	}
+}

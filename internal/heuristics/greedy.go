@@ -1,0 +1,288 @@
+package heuristics
+
+import (
+	"repro/internal/mapping"
+)
+
+// Greedy runs constructive local improvement. It seeds the search with the
+// best result of SingleIntervalSweep (plus the full-replication mapping of
+// Theorem 1 as an alternative start) and repeatedly applies the best
+// improving move among:
+//
+//   - add an unused processor to an interval's replica set;
+//   - remove a replica (keeping at least one per interval);
+//   - split an interval at any point, staffing the new half with an unused
+//     processor (on either side) or with half of the old replica set;
+//   - merge two adjacent intervals (replica sets united);
+//   - move a replica from one interval to another.
+//
+// Structural moves (split/merge/move) are scored after *saturation*: a
+// nested greedy that re-optimizes replica counts before the comparison.
+// Without the lookahead, profitable splits can look worse than the status
+// quo — e.g. the paper's Figure 5 instance, where isolating the slow
+// reliable processor only pays off once the fast stage is re-replicated
+// tenfold.
+func Greedy(pr *Problem) (Result, error) {
+	best, err := seed(pr)
+	if err != nil {
+		return Result{}, err
+	}
+	best = saturate(pr, best)
+	for {
+		improved, next := bestMove(pr, best)
+		if !improved {
+			return best, nil
+		}
+		best = next
+	}
+}
+
+// seed returns the best feasible starting point.
+func seed(pr *Problem) (Result, error) {
+	best, err := SingleIntervalSweep(pr)
+	found := err == nil
+	// Full replication is the global FP optimum (Theorem 1); it is the
+	// natural start when the FP constraint is tight.
+	n, m := pr.Pipe.NumStages(), pr.Plat.NumProcs()
+	all := make([]int, m)
+	for u := range all {
+		all[u] = u
+	}
+	full := mapping.NewSingleInterval(n, all)
+	if met, ok := pr.evaluate(full); ok && pr.feasible(met) {
+		if !found || pr.better(met, best.Metrics) {
+			best = Result{Mapping: full, Metrics: met}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrNotFound
+	}
+	return best, nil
+}
+
+// saturate repeatedly applies the best replica-count adjustment — additions
+// when minimizing FP, removals and merges when minimizing latency — until
+// none improves. It never changes which stages form which interval except
+// through merges in the latency goal.
+func saturate(pr *Problem, cur Result) Result {
+	for {
+		improved := false
+		best := cur
+		try := func(m *mapping.Mapping) {
+			met, ok := pr.evaluate(m)
+			if !ok || !pr.feasible(met) {
+				return
+			}
+			if pr.better(met, best.Metrics) {
+				best = Result{Mapping: m, Metrics: met}
+				improved = true
+			}
+		}
+		cm := cur.Mapping
+		if pr.Goal == MinFP {
+			for j := range cm.Alloc {
+				for _, u := range unusedProcs(cm, pr.Plat.NumProcs()) {
+					next := cm.Clone()
+					next.Alloc[j] = append(next.Alloc[j], u)
+					try(next)
+				}
+			}
+		} else {
+			for j := range cm.Alloc {
+				if len(cm.Alloc[j]) < 2 {
+					continue
+				}
+				for i := range cm.Alloc[j] {
+					next := cm.Clone()
+					next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
+					try(next)
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+		cur = best
+	}
+}
+
+// bestMove evaluates every candidate move from cur — structural moves
+// scored after saturation — and returns the best strictly improving
+// feasible successor.
+func bestMove(pr *Problem, cur Result) (bool, Result) {
+	best := cur
+	improved := false
+	tryRaw := func(m *mapping.Mapping) {
+		if m == nil {
+			return
+		}
+		met, ok := pr.evaluate(m)
+		if !ok || !pr.feasible(met) {
+			return
+		}
+		if pr.better(met, best.Metrics) {
+			best = Result{Mapping: m, Metrics: met}
+			improved = true
+		}
+	}
+	trySaturated := func(m *mapping.Mapping) {
+		if m == nil {
+			return
+		}
+		met, ok := pr.evaluate(m)
+		if !ok {
+			return
+		}
+		res := Result{Mapping: m, Metrics: met}
+		if pr.feasible(met) {
+			res = saturate(pr, res)
+		} else {
+			// Saturation can restore feasibility (e.g. dropping replicas
+			// after a split under a latency bound); try from the raw
+			// state anyway.
+			res = saturate(pr, res)
+			if !pr.feasible(res.Metrics) {
+				return
+			}
+		}
+		if pr.better(res.Metrics, best.Metrics) {
+			best = res
+			improved = true
+		}
+	}
+	cm := cur.Mapping
+	unused := unusedProcs(cm, pr.Plat.NumProcs())
+
+	// Plain replica adjustments.
+	for j := range cm.Alloc {
+		for _, u := range unused {
+			next := cm.Clone()
+			next.Alloc[j] = append(next.Alloc[j], u)
+			tryRaw(next)
+		}
+		if len(cm.Alloc[j]) >= 2 {
+			for i := range cm.Alloc[j] {
+				next := cm.Clone()
+				next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
+				tryRaw(next)
+			}
+		}
+	}
+	// Splits (saturated lookahead).
+	for j, iv := range cm.Intervals {
+		for cut := iv.First + 1; cut <= iv.Last; cut++ {
+			for _, u := range unused {
+				trySaturated(splitNewRight(cm, j, cut, u))
+				trySaturated(splitNewLeft(cm, j, cut, u))
+			}
+			if k := len(cm.Alloc[j]); k >= 2 {
+				right := append([]int(nil), cm.Alloc[j][k/2:]...)
+				trySaturated(splitSelf(cm, j, cut, right))
+			}
+		}
+	}
+	// Merges (saturated lookahead).
+	for j := 0; j+1 < len(cm.Intervals); j++ {
+		next := cm.Clone()
+		next.Intervals[j].Last = next.Intervals[j+1].Last
+		next.Alloc[j] = append(next.Alloc[j], next.Alloc[j+1]...)
+		next.Intervals = append(next.Intervals[:j+1], next.Intervals[j+2:]...)
+		next.Alloc = append(next.Alloc[:j+1], next.Alloc[j+2:]...)
+		trySaturated(next)
+	}
+	// Replica migrations (saturated lookahead).
+	for j := range cm.Alloc {
+		if len(cm.Alloc[j]) < 2 {
+			continue
+		}
+		for i := range cm.Alloc[j] {
+			u := cm.Alloc[j][i]
+			for j2 := range cm.Alloc {
+				if j2 == j {
+					continue
+				}
+				next := cm.Clone()
+				next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
+				next.Alloc[j2] = append(next.Alloc[j2], u)
+				trySaturated(next)
+			}
+		}
+	}
+	// Replica replacements: swap a used processor for an unused one.
+	for j := range cm.Alloc {
+		for i := range cm.Alloc[j] {
+			for _, u := range unused {
+				next := cm.Clone()
+				next.Alloc[j][i] = u
+				tryRaw(next)
+			}
+		}
+	}
+	return improved, best
+}
+
+// splitNewRight splits interval j at stage cut; the right half is staffed
+// by the single (unused) processor u, the left half keeps the old set.
+func splitNewRight(m *mapping.Mapping, j, cut, u int) *mapping.Mapping {
+	return splitCommon(m, j, cut, append([]int(nil), m.Alloc[j]...), []int{u})
+}
+
+// splitNewLeft splits interval j at stage cut; the left half is staffed by
+// the single (unused) processor u, the right half inherits the old set.
+// This is the move that isolates a reliable processor on a cheap prefix
+// stage (the winning structure of the paper's Figure 5 example).
+func splitNewLeft(m *mapping.Mapping, j, cut, u int) *mapping.Mapping {
+	return splitCommon(m, j, cut, []int{u}, append([]int(nil), m.Alloc[j]...))
+}
+
+// splitSelf splits interval j at stage cut, moving rightProcs (a subset of
+// the old replica set) to the right half. Returns nil when the left half
+// would be left without processors.
+func splitSelf(m *mapping.Mapping, j, cut int, rightProcs []int) *mapping.Mapping {
+	var left []int
+	for _, u := range m.Alloc[j] {
+		keep := true
+		for _, r := range rightProcs {
+			if u == r {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			left = append(left, u)
+		}
+	}
+	if len(left) == 0 {
+		return nil
+	}
+	return splitCommon(m, j, cut, left, append([]int(nil), rightProcs...))
+}
+
+// splitCommon builds the mapping with interval j split at cut and the two
+// halves staffed by leftProcs and rightProcs (both owned by the callee).
+func splitCommon(m *mapping.Mapping, j, cut int, leftProcs, rightProcs []int) *mapping.Mapping {
+	next := m.Clone()
+	iv := next.Intervals[j]
+	left := mapping.Interval{First: iv.First, Last: cut - 1}
+	right := mapping.Interval{First: cut, Last: iv.Last}
+	next.Intervals = append(next.Intervals[:j], append([]mapping.Interval{left, right}, next.Intervals[j+1:]...)...)
+	next.Alloc = append(next.Alloc[:j], append([][]int{leftProcs, rightProcs}, next.Alloc[j+1:]...)...)
+	return next
+}
+
+func unusedProcs(m *mapping.Mapping, numProcs int) []int {
+	used := make([]bool, numProcs)
+	for _, procs := range m.Alloc {
+		for _, u := range procs {
+			used[u] = true
+		}
+	}
+	var free []int
+	for u, b := range used {
+		if !b {
+			free = append(free, u)
+		}
+	}
+	return free
+}

@@ -1,0 +1,170 @@
+// Package heuristics attacks the two bi-criteria cases for which the
+// paper gives no polynomial algorithm: Communication Homogeneous with
+// heterogeneous failure probabilities (left open, conjectured NP-hard in
+// Section 4.4) and Fully Heterogeneous (NP-hard by Theorem 7).
+//
+// Three solver families are provided, in increasing cost and quality:
+//
+//   - SingleIntervalSweep: the best single-interval mapping over prefix
+//     subsets of several processor orderings (the optimal shape on the
+//     classes of Lemma 1, and a strong baseline elsewhere);
+//   - Greedy: constructive local improvement — start from a feasible
+//     mapping and repeatedly apply the best replica addition/removal,
+//     split, or merge;
+//   - Anneal: simulated annealing over the full interval-mapping search
+//     space with repair-based neighborhood moves, with hill-climbing as
+//     the zero-temperature special case.
+//
+// All solvers return the best feasible mapping found; ErrNotFound means
+// the search saw no feasible mapping, which (heuristics being incomplete)
+// does not prove infeasibility.
+package heuristics
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// ErrNotFound is returned when the heuristic encountered no mapping
+// satisfying the constraint.
+var ErrNotFound = errors.New("heuristics: no feasible mapping found")
+
+// Result mirrors poly.Result.
+type Result struct {
+	Mapping *mapping.Mapping
+	Metrics mapping.Metrics
+}
+
+// latencyTol mirrors package poly's threshold slack.
+const latencyTol = 1e-9
+
+func leqTol(x, bound float64) bool {
+	return x <= bound+latencyTol*math.Max(1, math.Abs(bound))
+}
+
+// Goal states which criterion is minimized; the other is constrained.
+type Goal int
+
+const (
+	// MinFP minimizes failure probability subject to latency ≤ Bound.
+	MinFP Goal = iota
+	// MinLatency minimizes latency subject to failure probability ≤ Bound.
+	MinLatency
+)
+
+// Problem is a bi-criteria instance for the heuristic solvers.
+type Problem struct {
+	Pipe  *pipeline.Pipeline
+	Plat  *platform.Platform
+	Goal  Goal
+	Bound float64 // MaxLatency when Goal == MinFP; MaxFailProb otherwise
+}
+
+// feasible reports whether metrics satisfy the problem's constraint.
+func (pr *Problem) feasible(met mapping.Metrics) bool {
+	if pr.Goal == MinFP {
+		return leqTol(met.Latency, pr.Bound)
+	}
+	return met.FailureProb <= pr.Bound+1e-12
+}
+
+// objective returns the minimized criterion value.
+func (pr *Problem) objective(met mapping.Metrics) float64 {
+	if pr.Goal == MinFP {
+		return met.FailureProb
+	}
+	return met.Latency
+}
+
+// better reports whether a strictly improves on b for the problem's goal,
+// breaking ties with the secondary criterion.
+func (pr *Problem) better(a, b mapping.Metrics) bool {
+	oa, ob := pr.objective(a), pr.objective(b)
+	if oa != ob {
+		return oa < ob
+	}
+	if pr.Goal == MinFP {
+		return a.Latency < b.Latency
+	}
+	return a.FailureProb < b.FailureProb
+}
+
+// evaluate wraps mapping.Evaluate, returning ok=false on invalid mappings.
+func (pr *Problem) evaluate(m *mapping.Mapping) (mapping.Metrics, bool) {
+	met, err := mapping.Evaluate(pr.Pipe, pr.Plat, m)
+	if err != nil {
+		return mapping.Metrics{}, false
+	}
+	return met, true
+}
+
+// SingleIntervalSweep evaluates whole-pipeline single-interval mappings
+// over all prefixes of three processor orderings — by reliability, by
+// speed, and by a reliability-per-latency hybrid — plus every singleton
+// processor, and returns the best feasible one.
+//
+// On Fully Homogeneous and CommHom+FailureHom platforms this sweep
+// contains the provably optimal mapping (Lemma 1 plus the exchange
+// arguments of Theorems 5–6), so the heuristic degrades gracefully into
+// the exact algorithm on the easy classes.
+func SingleIntervalSweep(pr *Problem) (Result, error) {
+	n := pr.Pipe.NumStages()
+	m := pr.Plat.NumProcs()
+	best := Result{}
+	found := false
+	consider := func(procs []int) {
+		mp := mapping.NewSingleInterval(n, procs)
+		met, ok := pr.evaluate(mp)
+		if !ok || !pr.feasible(met) {
+			return
+		}
+		if !found || pr.better(met, best.Metrics) {
+			best = Result{Mapping: mp, Metrics: met}
+			found = true
+		}
+	}
+	orders := [][]int{
+		pr.Plat.ProcsByReliabilityDesc(),
+		pr.Plat.ProcsBySpeedDesc(),
+		hybridOrder(pr.Plat),
+	}
+	for _, order := range orders {
+		for k := 1; k <= m; k++ {
+			consider(order[:k])
+		}
+	}
+	for u := 0; u < m; u++ {
+		consider([]int{u})
+	}
+	if !found {
+		return Result{}, ErrNotFound
+	}
+	return best, nil
+}
+
+// hybridOrder sorts processors by log-reliability gain per unit of speed
+// loss: processors that are both reliable and fast come first.
+func hybridOrder(pl *platform.Platform) []int {
+	ids := make([]int, pl.NumProcs())
+	for i := range ids {
+		ids[i] = i
+	}
+	score := func(u int) float64 {
+		// -log(fp) rewards reliability; multiplying by speed rewards both.
+		fp := pl.FailProb[u]
+		if fp <= 0 {
+			return math.Inf(1)
+		}
+		return -math.Log(fp) * pl.Speed[u]
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && score(ids[j]) > score(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,132 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// GeneralMapping assigns each stage to one processor with no interval
+// constraint and no replication: ProcOf[i] is the processor executing
+// stage i. Consecutive stages on the same processor exchange data for
+// free; a processor change between stages i and i+1 pays δ_{i+1}/b.
+// This is the mapping family of Theorem 4 (polynomial by shortest path).
+type GeneralMapping struct {
+	ProcOf []int `json:"procOf"`
+}
+
+// Validate checks that every stage has a processor in range. Unlike
+// interval mappings, a processor may serve several (possibly
+// non-consecutive) stages.
+func (g *GeneralMapping) Validate(n, mProcs int) error {
+	if len(g.ProcOf) != n {
+		return fmt.Errorf("general mapping: %d assignments for %d stages", len(g.ProcOf), n)
+	}
+	for i, u := range g.ProcOf {
+		if u < 0 || u >= mProcs {
+			return fmt.Errorf("general mapping: stage %d on invalid processor %d (m=%d)", i, u, mProcs)
+		}
+	}
+	return nil
+}
+
+// IsOneToOne reports whether all stages are on pairwise distinct
+// processors (the mapping family of Theorem 3).
+func (g *GeneralMapping) IsOneToOne() bool {
+	seen := make(map[int]bool, len(g.ProcOf))
+	for _, u := range g.ProcOf {
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+	}
+	return true
+}
+
+// String renders "S1->P2 S2->P1 ...".
+func (g *GeneralMapping) String() string {
+	var b strings.Builder
+	for i, u := range g.ProcOf {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "S%d->P%d", i+1, u+1)
+	}
+	return b.String()
+}
+
+// Latency computes the latency of a general mapping on any platform,
+// following the path-weight construction of Figure 6:
+//
+//	T = δ_0/b_{in,proc(1)}
+//	  + Σ_i w_i/s_{proc(i)}
+//	  + Σ_{proc(i) ≠ proc(i+1)} δ_i/b_{proc(i),proc(i+1)}
+//	  + δ_n/b_{proc(n),out}
+//
+// (1-based paper indices in the comment; the code is 0-based.)
+func (g *GeneralMapping) Latency(p *pipeline.Pipeline, pl *platform.Platform) (float64, error) {
+	if err := g.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return 0, err
+	}
+	n := p.NumStages()
+	total := p.Delta[0] / pl.BIn[g.ProcOf[0]]
+	for i := 0; i < n; i++ {
+		u := g.ProcOf[i]
+		total += p.W[i] / pl.Speed[u]
+		if i+1 < n {
+			v := g.ProcOf[i+1]
+			if u != v {
+				total += p.Delta[i+1] / pl.B[u][v]
+			}
+		}
+	}
+	total += p.Delta[n] / pl.BOut[g.ProcOf[n-1]]
+	return total, nil
+}
+
+// ToIntervalMapping converts a general mapping into an equivalent interval
+// mapping (each replica set a singleton) when the assignment is already
+// interval-shaped, i.e. every processor's stages are consecutive and a
+// processor is not revisited. It returns ok=false otherwise.
+func (g *GeneralMapping) ToIntervalMapping() (*Mapping, bool) {
+	if len(g.ProcOf) == 0 {
+		return nil, false
+	}
+	m := &Mapping{}
+	start := 0
+	seen := make(map[int]bool)
+	for i := 1; i <= len(g.ProcOf); i++ {
+		if i == len(g.ProcOf) || g.ProcOf[i] != g.ProcOf[start] {
+			u := g.ProcOf[start]
+			if seen[u] {
+				return nil, false // processor revisited: not interval-based
+			}
+			seen[u] = true
+			m.Intervals = append(m.Intervals, Interval{First: start, Last: i - 1})
+			m.Alloc = append(m.Alloc, []int{u})
+			start = i
+		}
+	}
+	return m, true
+}
+
+// FromIntervalMapping flattens an interval mapping whose replica sets are
+// all singletons into a GeneralMapping. It returns ok=false if any
+// interval is replicated.
+func FromIntervalMapping(m *Mapping, n int) (*GeneralMapping, bool) {
+	g := &GeneralMapping{ProcOf: make([]int, n)}
+	for j, iv := range m.Intervals {
+		if len(m.Alloc[j]) != 1 {
+			return nil, false
+		}
+		for i := iv.First; i <= iv.Last; i++ {
+			if i < 0 || i >= n {
+				return nil, false
+			}
+			g.ProcOf[i] = m.Alloc[j][0]
+		}
+	}
+	return g, true
+}

@@ -1,0 +1,220 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+func TestGeneralMappingValidate(t *testing.T) {
+	g := &GeneralMapping{ProcOf: []int{0, 1, 0}}
+	if err := g.Validate(3, 2); err != nil {
+		t.Fatalf("valid general mapping rejected: %v", err)
+	}
+	if err := g.Validate(4, 2); err == nil {
+		t.Error("accepted wrong stage count")
+	}
+	if err := (&GeneralMapping{ProcOf: []int{0, 2}}).Validate(2, 2); err == nil {
+		t.Error("accepted out-of-range processor")
+	}
+	if err := (&GeneralMapping{ProcOf: []int{-1}}).Validate(1, 2); err == nil {
+		t.Error("accepted negative processor")
+	}
+}
+
+func TestGeneralMappingIsOneToOne(t *testing.T) {
+	if !(&GeneralMapping{ProcOf: []int{0, 1, 2}}).IsOneToOne() {
+		t.Error("distinct processors should be one-to-one")
+	}
+	if (&GeneralMapping{ProcOf: []int{0, 1, 0}}).IsOneToOne() {
+		t.Error("repeated processor should not be one-to-one")
+	}
+}
+
+func TestGeneralMappingString(t *testing.T) {
+	g := &GeneralMapping{ProcOf: []int{1, 0}}
+	if got := g.String(); got != "S1->P2 S2->P1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestGeneralLatencyFig34 cross-checks the general latency against the
+// paper example: the split one-to-one mapping achieves 7.
+func TestGeneralLatencyFig34(t *testing.T) {
+	p := fig34Pipeline()
+	pl := fig34Platform()
+	g := &GeneralMapping{ProcOf: []int{0, 1}}
+	lat, err := g.Latency(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 7 {
+		t.Errorf("latency = %g, want 7", lat)
+	}
+	gSingle := &GeneralMapping{ProcOf: []int{0, 0}}
+	lat, err = gSingle.Latency(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 105 {
+		t.Errorf("latency = %g, want 105", lat)
+	}
+}
+
+func TestGeneralLatencyIntraProcessorCommFree(t *testing.T) {
+	// 3 stages on the same processor: only δ0, work, δ3 are paid.
+	p := pipeline.MustNew([]float64{1, 2, 3}, []float64{4, 100, 100, 8})
+	pl, err := platform.NewCommHomogeneous([]float64{2}, []float64{0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &GeneralMapping{ProcOf: []int{0, 0, 0}}
+	lat, err := g.Latency(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0/4 + (1+2+3)/2.0 + 8.0/4 // 1 + 3 + 2
+	if lat != want {
+		t.Errorf("latency = %g, want %g", lat, want)
+	}
+}
+
+func TestGeneralLatencyRevisitingProcessor(t *testing.T) {
+	// A non-interval general mapping: P0, P1, P0. Both processor changes
+	// pay communications.
+	p := pipeline.MustNew([]float64{1, 1, 1}, []float64{0, 6, 6, 0})
+	pl, err := platform.NewCommHomogeneous([]float64{1, 1}, []float64{0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &GeneralMapping{ProcOf: []int{0, 1, 0}}
+	lat, err := g.Latency(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0 + 3 + 6.0/3 + 6.0/3 // work 3 + two transfers of 2
+	if lat != want {
+		t.Errorf("latency = %g, want %g", lat, want)
+	}
+}
+
+func TestGeneralLatencyValidates(t *testing.T) {
+	p := pipeline.Uniform(2, 1, 1)
+	pl, _ := platform.NewCommHomogeneous([]float64{1}, []float64{0}, 1)
+	g := &GeneralMapping{ProcOf: []int{0}}
+	if _, err := g.Latency(p, pl); err == nil {
+		t.Error("accepted mismatched stage count")
+	}
+}
+
+func TestToIntervalMapping(t *testing.T) {
+	g := &GeneralMapping{ProcOf: []int{0, 0, 1, 2, 2}}
+	m, ok := g.ToIntervalMapping()
+	if !ok {
+		t.Fatal("interval-shaped mapping not converted")
+	}
+	if err := m.Validate(5, 3); err != nil {
+		t.Fatalf("converted mapping invalid: %v", err)
+	}
+	if m.NumIntervals() != 3 {
+		t.Errorf("NumIntervals = %d, want 3", m.NumIntervals())
+	}
+	if m.Intervals[1] != (Interval{2, 2}) || m.Alloc[1][0] != 1 {
+		t.Errorf("unexpected middle interval: %v", m)
+	}
+
+	if _, ok := (&GeneralMapping{ProcOf: []int{0, 1, 0}}).ToIntervalMapping(); ok {
+		t.Error("revisiting mapping converted to interval mapping")
+	}
+	if _, ok := (&GeneralMapping{}).ToIntervalMapping(); ok {
+		t.Error("empty mapping converted")
+	}
+}
+
+func TestFromIntervalMapping(t *testing.T) {
+	m := &Mapping{Intervals: []Interval{{0, 1}, {2, 2}}, Alloc: [][]int{{1}, {0}}}
+	g, ok := FromIntervalMapping(m, 3)
+	if !ok {
+		t.Fatal("singleton interval mapping not flattened")
+	}
+	want := []int{1, 1, 0}
+	for i := range want {
+		if g.ProcOf[i] != want[i] {
+			t.Fatalf("ProcOf = %v, want %v", g.ProcOf, want)
+		}
+	}
+	mRepl := &Mapping{Intervals: []Interval{{0, 2}}, Alloc: [][]int{{0, 1}}}
+	if _, ok := FromIntervalMapping(mRepl, 3); ok {
+		t.Error("replicated mapping flattened")
+	}
+}
+
+// Property: for interval-shaped single-replica mappings, the general
+// latency and Eq. (2) latency agree (replication factor 1 makes the two
+// formulas coincide).
+func TestGeneralMatchesEq2OnSingletonIntervals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(4)
+		p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 50)
+		// Build a random singleton interval mapping.
+		mp := randomMapping(rng, n, m)
+		for j := range mp.Alloc {
+			mp.Alloc[j] = mp.Alloc[j][:1]
+		}
+		g, ok := FromIntervalMapping(mp, n)
+		if !ok {
+			return false
+		}
+		lEq2, err1 := LatencyEq2(p, pl, mp)
+		lGen, err2 := g.Latency(p, pl)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(lEq2-lGen) <= 1e-9*math.Max(1, lEq2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round trip GeneralMapping -> interval -> general preserves the
+// assignment when the mapping is interval-shaped.
+func TestIntervalRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(4)
+		mp := randomMapping(rng, n, m)
+		for j := range mp.Alloc {
+			mp.Alloc[j] = mp.Alloc[j][:1]
+		}
+		g, ok := FromIntervalMapping(mp, n)
+		if !ok {
+			return false
+		}
+		back, ok := g.ToIntervalMapping()
+		if !ok {
+			return false
+		}
+		g2, ok := FromIntervalMapping(back, n)
+		if !ok {
+			return false
+		}
+		for i := range g.ProcOf {
+			if g.ProcOf[i] != g2.ProcOf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package npc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// PartitionInstance is a multiset of positive integers a_1..a_m. The
+// decision question: is there a subset I with Σ_{i∈I} a_i = (Σ a_i)/2?
+type PartitionInstance struct {
+	A []int
+}
+
+// Sum returns Σ a_i.
+func (pi *PartitionInstance) Sum() int {
+	s := 0
+	for _, a := range pi.A {
+		s += a
+	}
+	return s
+}
+
+// Validate checks that the instance has at least one strictly positive
+// integer.
+func (pi *PartitionInstance) Validate() error {
+	if len(pi.A) == 0 {
+		return fmt.Errorf("npc: empty 2-PARTITION instance")
+	}
+	for i, a := range pi.A {
+		if a <= 0 {
+			return fmt.Errorf("npc: a[%d]=%d must be > 0", i, a)
+		}
+	}
+	return nil
+}
+
+// SolvePartition decides 2-PARTITION with the classic subset-sum dynamic
+// program in O(m·S) time, returning a witness subset when one exists.
+func SolvePartition(pi *PartitionInstance) ([]int, bool, error) {
+	if err := pi.Validate(); err != nil {
+		return nil, false, err
+	}
+	s := pi.Sum()
+	if s%2 != 0 {
+		return nil, false, nil
+	}
+	half := s / 2
+	// reach[t] = index of the last element used to first reach sum t (+1),
+	// or 0 if unreached.
+	reach := make([]int, half+1)
+	reach[0] = -1 // sentinel: sum 0 reachable with no elements
+	for idx, a := range pi.A {
+		for t := half; t >= a; t-- {
+			if reach[t] == 0 && reach[t-a] != 0 {
+				reach[t] = idx + 1
+			}
+		}
+	}
+	if reach[half] == 0 {
+		return nil, false, nil
+	}
+	var subset []int
+	t := half
+	for t > 0 {
+		idx := reach[t] - 1
+		subset = append(subset, idx)
+		t -= pi.A[idx]
+	}
+	for i, j := 0, len(subset)-1; i < j; i, j = i+1, j-1 {
+		subset[i], subset[j] = subset[j], subset[i]
+	}
+	return subset, true, nil
+}
+
+// BiCriteriaInstance is the Theorem 7 gadget: a single-stage application,
+// a platform, and the two thresholds of the bi-criteria decision problem.
+type BiCriteriaInstance struct {
+	Pipeline    *pipeline.Pipeline
+	Platform    *platform.Platform
+	MaxLatency  float64
+	MaxFailProb float64
+}
+
+// ReducePartition builds the Theorem 7 instance I₂ from a 2-PARTITION
+// instance I₁:
+//
+//   - application: one stage with w = 1 and δ_0 = δ_1 = 1;
+//   - platform: m unit-speed processors with fp_j = e^{−a_j}, input
+//     bandwidth b_{in,j} = 1/a_j and output bandwidth b_{j,out} = 1
+//     (internal links are never used by a single-stage mapping; set to 1);
+//   - thresholds: L = S/2 + 2 and FP = e^{−S/2}.
+//
+// Replicating the stage on subset I yields latency Σ_{j∈I} a_j + 2 and
+// failure probability e^{−Σ_{j∈I} a_j}, so both thresholds hold iff
+// Σ_{j∈I} a_j = S/2.
+func ReducePartition(pi *PartitionInstance) (*BiCriteriaInstance, error) {
+	if err := pi.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(pi.A)
+	p := pipeline.MustNew([]float64{1}, []float64{1, 1})
+	speeds := make([]float64, m)
+	fps := make([]float64, m)
+	b := make([][]float64, m)
+	bIn := make([]float64, m)
+	bOut := make([]float64, m)
+	for j := 0; j < m; j++ {
+		speeds[j] = 1
+		fps[j] = math.Exp(-float64(pi.A[j]))
+		bIn[j] = 1 / float64(pi.A[j])
+		bOut[j] = 1
+		b[j] = make([]float64, m)
+		for v := 0; v < m; v++ {
+			if v != j {
+				b[j][v] = 1
+			}
+		}
+	}
+	pl, err := platform.NewFullyHeterogeneous(speeds, fps, b, bIn, bOut)
+	if err != nil {
+		return nil, err
+	}
+	s := float64(pi.Sum())
+	return &BiCriteriaInstance{
+		Pipeline:    p,
+		Platform:    pl,
+		MaxLatency:  s/2 + 2,
+		MaxFailProb: math.Exp(-s / 2),
+	}, nil
+}

@@ -1,0 +1,264 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	p, err := New([]float64{1, 2, 3}, []float64{10, 11, 12, 13})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := p.NumStages(); got != 3 {
+		t.Errorf("NumStages = %d, want 3", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		w     []float64
+		delta []float64
+	}{
+		{"empty", nil, []float64{1}},
+		{"delta too short", []float64{1, 2}, []float64{1, 2}},
+		{"delta too long", []float64{1}, []float64{1, 2, 3}},
+		{"negative w", []float64{-1}, []float64{1, 1}},
+		{"negative delta", []float64{1}, []float64{-1, 1}},
+		{"nan w", []float64{math.NaN()}, []float64{1, 1}},
+		{"inf delta", []float64{1}, []float64{math.Inf(1), 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.w, c.delta); err == nil {
+				t.Errorf("New(%v,%v) succeeded, want error", c.w, c.delta)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on invalid input did not panic")
+		}
+	}()
+	MustNew(nil, nil)
+}
+
+func TestWork(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3, 4}, []float64{0, 0, 0, 0, 0})
+	cases := []struct {
+		first, last int
+		want        float64
+	}{
+		{0, 0, 1}, {0, 1, 3}, {0, 3, 10}, {1, 2, 5}, {3, 3, 4},
+	}
+	for _, c := range cases {
+		if got := p.Work(c.first, c.last); got != c.want {
+			t.Errorf("Work(%d,%d) = %g, want %g", c.first, c.last, got, c.want)
+		}
+	}
+	if got := p.TotalWork(); got != 10 {
+		t.Errorf("TotalWork = %g, want 10", got)
+	}
+}
+
+func TestWorkPanicsOnBadRange(t *testing.T) {
+	p := Uniform(3, 1, 1)
+	for _, rg := range [][2]int{{-1, 0}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Work(%d,%d) did not panic", rg[0], rg[1])
+				}
+			}()
+			p.Work(rg[0], rg[1])
+		}()
+	}
+}
+
+func TestInputOutputSize(t *testing.T) {
+	p := MustNew([]float64{1, 1}, []float64{5, 6, 7})
+	if got := p.InputSize(0); got != 5 {
+		t.Errorf("InputSize(0) = %g, want 5", got)
+	}
+	if got := p.InputSize(1); got != 6 {
+		t.Errorf("InputSize(1) = %g, want 6", got)
+	}
+	if got := p.OutputSize(0); got != 6 {
+		t.Errorf("OutputSize(0) = %g, want 6", got)
+	}
+	if got := p.OutputSize(1); got != 7 {
+		t.Errorf("OutputSize(1) = %g, want 7", got)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{3, 4, 5})
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not Equal to original")
+	}
+	q.W[0] = 99
+	if p.Equal(q) {
+		t.Error("mutated clone still Equal")
+	}
+	if p.W[0] != 1 {
+		t.Error("mutating clone affected original")
+	}
+	r := Uniform(3, 1, 1)
+	if p.Equal(r) {
+		t.Error("different-length pipelines reported Equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	s := p.String()
+	for _, want := range []string{"S1", "S2", "w=2", "δ0=100", "δ2=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := MustNew([]float64{1.5, 2.5}, []float64{0.5, 1, 2})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q Pipeline
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !p.Equal(&q) {
+		t.Errorf("round trip mismatch: %v vs %v", p, &q)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var q Pipeline
+	if err := json.Unmarshal([]byte(`{"w":[1],"delta":[1]}`), &q); err == nil {
+		t.Error("Unmarshal accepted mismatched delta length")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &q); err == nil {
+		t.Error("Unmarshal accepted syntactically invalid JSON")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	p := Uniform(5, 2, 3)
+	if p.NumStages() != 5 {
+		t.Fatalf("NumStages = %d, want 5", p.NumStages())
+	}
+	for i, w := range p.W {
+		if w != 2 {
+			t.Errorf("W[%d] = %g, want 2", i, w)
+		}
+	}
+	for k, d := range p.Delta {
+		if d != 3 {
+			t.Errorf("Delta[%d] = %g, want 3", k, d)
+		}
+	}
+}
+
+func TestRandomInRangeAndDeterministic(t *testing.T) {
+	p := Random(rand.New(rand.NewSource(42)), 20, 1, 5, 10, 20)
+	for i, w := range p.W {
+		if w < 1 || w > 5 {
+			t.Errorf("W[%d] = %g out of [1,5]", i, w)
+		}
+	}
+	for k, d := range p.Delta {
+		if d < 10 || d > 20 {
+			t.Errorf("Delta[%d] = %g out of [10,20]", k, d)
+		}
+	}
+	q := Random(rand.New(rand.NewSource(42)), 20, 1, 5, 10, 20)
+	if !p.Equal(q) {
+		t.Error("same seed produced different pipelines")
+	}
+}
+
+// Property: Work is additive over any split point of an interval.
+func TestWorkAdditiveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(rng, n, 0, 10, 0, 10)
+		first := rng.Intn(n)
+		last := first + rng.Intn(n-first)
+		if first == last {
+			return math.Abs(p.Work(first, last)-p.W[first]) < 1e-9
+		}
+		mid := first + rng.Intn(last-first)
+		lhs := p.Work(first, last)
+		rhs := p.Work(first, mid) + p.Work(mid+1, last)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round trip preserves Equal for random pipelines.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		p := Random(rand.New(rand.NewSource(seed)), n, 0, 100, 0, 100)
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		var q Pipeline
+		if err := json.Unmarshal(data, &q); err != nil {
+			return false
+		}
+		return p.Equal(&q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkLiteralFallback: pipelines assembled as struct literals (no
+// prefix cache) still answer Work correctly, by direct summation.
+func TestWorkLiteralFallback(t *testing.T) {
+	p := &Pipeline{W: []float64{1, 2, 3}, Delta: []float64{0, 0, 0, 0}}
+	if got := p.Work(0, 2); got != 6 {
+		t.Errorf("Work on literal = %g, want 6", got)
+	}
+	if got := p.Work(1, 1); got != 2 {
+		t.Errorf("Work on literal = %g, want 2", got)
+	}
+}
+
+// TestWorkConcurrentReadOnly: concurrent Work calls are race-free both on
+// New-built pipelines (cached prefix) and struct literals (no cache).
+// Meaningful under -race.
+func TestWorkConcurrentReadOnly(t *testing.T) {
+	built := MustNew([]float64{1, 2, 3, 4}, []float64{0, 0, 0, 0, 0})
+	literal := &Pipeline{W: []float64{1, 2, 3, 4}, Delta: []float64{0, 0, 0, 0, 0}}
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				if built.Work(0, 3) != 10 || literal.Work(1, 2) != 5 {
+					t.Error("wrong concurrent Work result")
+				}
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,253 @@
+package platform
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFullyHomogeneous(t *testing.T) {
+	pl, err := NewFullyHomogeneous(4, 2, 10, 0.1)
+	if err != nil {
+		t.Fatalf("NewFullyHomogeneous: %v", err)
+	}
+	if pl.NumProcs() != 4 {
+		t.Fatalf("NumProcs = %d, want 4", pl.NumProcs())
+	}
+	if got := pl.Classify(); got != FullyHomogeneous {
+		t.Errorf("Classify = %v, want FullyHomogeneous", got)
+	}
+	if !pl.FailureHomogeneous() {
+		t.Error("FailureHomogeneous = false, want true")
+	}
+	if b, ok := pl.CommHomogeneous(); !ok || b != 10 {
+		t.Errorf("CommHomogeneous = (%g,%v), want (10,true)", b, ok)
+	}
+}
+
+func TestNewCommHomogeneous(t *testing.T) {
+	pl, err := NewCommHomogeneous([]float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}, 5)
+	if err != nil {
+		t.Fatalf("NewCommHomogeneous: %v", err)
+	}
+	if got := pl.Classify(); got != CommHomogeneous {
+		t.Errorf("Classify = %v, want CommHomogeneous", got)
+	}
+	if pl.FailureHomogeneous() {
+		t.Error("FailureHomogeneous = true, want false")
+	}
+}
+
+func TestNewFullyHeterogeneous(t *testing.T) {
+	b := [][]float64{{0, 1}, {1, 0}}
+	pl, err := NewFullyHeterogeneous([]float64{1, 2}, []float64{0, 0}, b, []float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatalf("NewFullyHeterogeneous: %v", err)
+	}
+	if got := pl.Classify(); got != FullyHeterogeneous {
+		t.Errorf("Classify = %v, want FullyHeterogeneous", got)
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	// Same bandwidth everywhere but heterogeneous speeds -> CommHom.
+	pl, _ := NewCommHomogeneous([]float64{1, 2}, []float64{0, 0}, 1)
+	if pl.Classify() != CommHomogeneous {
+		t.Error("expected CommHomogeneous")
+	}
+	// One deviant internal link -> FullyHet.
+	pl2 := pl.Clone()
+	pl2.B[0][1] = 2
+	if pl2.Classify() != FullyHeterogeneous {
+		t.Error("deviant internal link should make platform FullyHeterogeneous")
+	}
+	// One deviant input link -> FullyHet.
+	pl3 := pl.Clone()
+	pl3.BIn[1] = 9
+	if pl3.Classify() != FullyHeterogeneous {
+		t.Error("deviant input link should make platform FullyHeterogeneous")
+	}
+	// One deviant output link -> FullyHet.
+	pl4 := pl.Clone()
+	pl4.BOut[0] = 9
+	if pl4.Classify() != FullyHeterogeneous {
+		t.Error("deviant output link should make platform FullyHeterogeneous")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	good, _ := NewFullyHomogeneous(2, 1, 1, 0.5)
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+	}{
+		{"zero speed", func(p *Platform) { p.Speed[0] = 0 }},
+		{"negative speed", func(p *Platform) { p.Speed[1] = -1 }},
+		{"fp above 1", func(p *Platform) { p.FailProb[0] = 1.5 }},
+		{"fp below 0", func(p *Platform) { p.FailProb[0] = -0.1 }},
+		{"zero bandwidth", func(p *Platform) { p.B[0][1] = 0 }},
+		{"zero BIn", func(p *Platform) { p.BIn[0] = 0 }},
+		{"zero BOut", func(p *Platform) { p.BOut[1] = 0 }},
+		{"short FailProb", func(p *Platform) { p.FailProb = p.FailProb[:1] }},
+		{"ragged B", func(p *Platform) { p.B[0] = p.B[0][:1] }},
+		{"short B", func(p *Platform) { p.B = p.B[:1] }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl := good.Clone()
+			c.mutate(pl)
+			if err := pl.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", c.name)
+			}
+		})
+	}
+	empty := &Platform{}
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate accepted empty platform")
+	}
+}
+
+func TestFastestProc(t *testing.T) {
+	pl, _ := NewCommHomogeneous([]float64{1, 5, 3, 5}, []float64{0, 0, 0, 0}, 1)
+	if got := pl.FastestProc(); got != 1 {
+		t.Errorf("FastestProc = %d, want 1 (first of the tied fastest)", got)
+	}
+}
+
+func TestProcsBySpeedDesc(t *testing.T) {
+	pl, _ := NewCommHomogeneous([]float64{1, 5, 3}, []float64{0, 0, 0}, 1)
+	got := pl.ProcsBySpeedDesc()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProcsBySpeedDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProcsByReliabilityDesc(t *testing.T) {
+	pl, _ := NewCommHomogeneous([]float64{1, 1, 1}, []float64{0.5, 0.1, 0.3}, 1)
+	got := pl.ProcsByReliabilityDesc()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProcsByReliabilityDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	pl, _ := NewFullyHomogeneous(3, 1, 1, 0.2)
+	cp := pl.Clone()
+	cp.Speed[0] = 42
+	cp.B[0][1] = 99
+	if pl.Speed[0] == 42 || pl.B[0][1] == 99 {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestString(t *testing.T) {
+	pl, _ := NewCommHomogeneous([]float64{1, 2}, []float64{0.1, 0.2}, 1)
+	s := pl.String()
+	if s != "m=2 Communication Homogeneous, Failure Heterogeneous" {
+		t.Errorf("String = %q", s)
+	}
+	pl2, _ := NewFullyHomogeneous(2, 1, 1, 0.1)
+	if got := pl2.String(); got != "m=2 Fully Homogeneous, Failure Homogeneous" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := RandomFullyHeterogeneous(rng, 5, 1, 10, 0, 1, 1, 100)
+	data, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q Platform
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.NumProcs() != pl.NumProcs() || q.Classify() != pl.Classify() {
+		t.Error("round trip changed platform")
+	}
+	for u := 0; u < pl.NumProcs(); u++ {
+		if q.Speed[u] != pl.Speed[u] || q.FailProb[u] != pl.FailProb[u] {
+			t.Fatalf("proc %d parameters changed in round trip", u)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var q Platform
+	if err := json.Unmarshal([]byte(`{"speed":[1],"failProb":[2],"b":[[0]],"bIn":[1],"bOut":[1]}`), &q); err == nil {
+		t.Error("Unmarshal accepted fp=2")
+	}
+}
+
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	a := RandomCommHomogeneous(rand.New(rand.NewSource(3)), 6, 1, 4, 0, 0.5, 2)
+	b := RandomCommHomogeneous(rand.New(rand.NewSource(3)), 6, 1, 4, 0, 0.5, 2)
+	for u := range a.Speed {
+		if a.Speed[u] != b.Speed[u] || a.FailProb[u] != b.FailProb[u] {
+			t.Fatal("same seed produced different CommHom platforms")
+		}
+	}
+}
+
+func TestRandomFullyHetSymmetricBandwidth(t *testing.T) {
+	pl := RandomFullyHeterogeneous(rand.New(rand.NewSource(11)), 8, 1, 2, 0, 1, 1, 10)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			if u != v && pl.B[u][v] != pl.B[v][u] {
+				t.Fatalf("B[%d][%d]=%g != B[%d][%d]=%g", u, v, pl.B[u][v], v, u, pl.B[v][u])
+			}
+		}
+	}
+}
+
+// Property: random platforms always validate, classify consistently, and
+// generator ranges are respected.
+func TestRandomPlatformProperties(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		pl := RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 100)
+		if pl.Validate() != nil {
+			return false
+		}
+		for u := 0; u < m; u++ {
+			if pl.Speed[u] < 1 || pl.Speed[u] > 10 {
+				return false
+			}
+			if pl.FailProb[u] < 0 || pl.FailProb[u] > 1 {
+				return false
+			}
+		}
+		// Sorted orders must be permutations of 0..m-1.
+		seen := make([]bool, m)
+		for _, id := range pl.ProcsBySpeedDesc() {
+			if id < 0 || id >= m || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if FullyHomogeneous.String() != "Fully Homogeneous" ||
+		CommHomogeneous.String() != "Communication Homogeneous" ||
+		FullyHeterogeneous.String() != "Fully Heterogeneous" {
+		t.Error("Class.String mismatch")
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("unknown class String mismatch")
+	}
+}

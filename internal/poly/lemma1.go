@@ -1,0 +1,52 @@
+package poly
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// Lemma1Transform implements the constructive proof of Lemma 1: given any
+// valid interval mapping on a Fully Homogeneous platform (any failure
+// probabilities), or on a Communication Homogeneous + Failure Homogeneous
+// platform, it returns a single-interval mapping that is at least as good
+// in both latency and failure probability.
+//
+//   - Fully Homogeneous case: with k₀ the replication count of the first
+//     interval, replicate the whole pipeline on the k₀ most reliable
+//     processors. The k₀·δ_0/b input term was already paid by the original
+//     mapping, all other communication terms disappear, and the work term
+//     is unchanged (identical speeds); the failure probability can only
+//     shrink (one interval instead of several, most reliable replicas).
+//
+//   - CommHom + FailureHom case: with k the minimum replication count over
+//     all intervals, replicate the whole pipeline on the k fastest
+//     processors. FP_new = fp^k ≤ 1 − Π_j(1−fp^{k_j}) = FP_old, and the
+//     k-th fastest processor overall is no slower than the slowest
+//     processor of any interval that used ≥ k distinct processors.
+//
+// The function returns ErrWrongClass on other platform classes: Section 3
+// (Figure 5) exhibits a CommHom + FailureHet instance where no
+// single-interval mapping is optimal.
+func Lemma1Transform(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) (*mapping.Mapping, error) {
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return nil, err
+	}
+	switch {
+	case pl.Classify() == platform.FullyHomogeneous:
+		k0 := len(m.Alloc[0])
+		procs := pl.ProcsByReliabilityDesc()[:k0]
+		return mapping.NewSingleInterval(p.NumStages(), procs), nil
+	case func() bool { _, ok := pl.CommHomogeneous(); return ok }() && pl.FailureHomogeneous():
+		k := len(m.Alloc[0])
+		for _, procs := range m.Alloc[1:] {
+			if len(procs) < k {
+				k = len(procs)
+			}
+		}
+		procs := pl.ProcsBySpeedDesc()[:k]
+		return mapping.NewSingleInterval(p.NumStages(), procs), nil
+	default:
+		return nil, ErrWrongClass
+	}
+}

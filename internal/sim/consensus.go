@@ -1,0 +1,85 @@
+package sim
+
+// Consensus among the replicas of an interval: the paper relies on "a
+// standard consensus protocol to determine which of the surviving
+// processors performs the outgoing communications" [17]. We implement a
+// deterministic rotating-coordinator protocol over the simulated network:
+//
+//   - replicas are ranked by their position in the replica set;
+//   - in round r, the rank-r replica is the coordinator candidate; a dead
+//     candidate is detected after cfg.ConsensusTimeout time units and the
+//     protocol advances to round r+1;
+//   - the first alive coordinator broadcasts a PROPOSE control message of
+//     size cfg.ControlMsgSize to every other alive replica (serialized on
+//     its send port) and each replica answers with an ACK; the decision is
+//     reached when the last ACK arrives.
+//
+// With the default zero-cost control messages and zero timeout the
+// decision is instantaneous and the elected sender is the lowest-ranked
+// surviving replica — exactly the abstraction the paper's latency formulas
+// assume. Non-zero costs expose the consensus overhead as a measurable
+// quantity (see the ablation benchmarks).
+
+// consensusResult reports the elected leader, the decision time, and the
+// number of coordinator rounds consumed.
+type consensusResult struct {
+	Leader  int
+	Decided float64
+	Rounds  int
+}
+
+// runConsensus elects the outgoing sender among the alive members of
+// group, starting at time start. The done callback receives the result;
+// ok=false means every replica is dead (no leader can be elected).
+func runConsensus(nw *network, group []int, alive func(int) bool, start float64, timeout, msgSize float64, done func(res consensusResult, ok bool)) {
+	leaderRank := -1
+	for r, u := range group {
+		if alive(u) {
+			leaderRank = r
+			break
+		}
+	}
+	if leaderRank == -1 {
+		nw.eng.At(start, func() { done(consensusResult{}, false) })
+		return
+	}
+	leader := group[leaderRank]
+	// Dead coordinator rounds each burn one timeout.
+	electionStart := start + float64(leaderRank)*timeout
+	var followers []int
+	for r, u := range group {
+		if r != leaderRank && alive(u) {
+			followers = append(followers, u)
+		}
+	}
+	if len(followers) == 0 {
+		nw.eng.At(electionStart, func() {
+			done(consensusResult{Leader: leader, Decided: electionStart, Rounds: leaderRank + 1}, true)
+		})
+		return
+	}
+	// PROPOSE broadcast, serialized on the leader's send port.
+	err := nw.transferChain(leader, followers, msgSize, electionStart, func(_ float64, arrivals []float64) {
+		// Each follower ACKs; decision at the last ACK arrival.
+		remaining := len(followers)
+		last := electionStart
+		for i, f := range followers {
+			f := f
+			ackErr := nw.transfer(f, leader, msgSize, arrivals[i], func(arrival float64) {
+				if arrival > last {
+					last = arrival
+				}
+				remaining--
+				if remaining == 0 {
+					done(consensusResult{Leader: leader, Decided: last, Rounds: leaderRank + 1}, true)
+				}
+			})
+			if ackErr != nil {
+				panic(ackErr) // group members are valid processors by construction
+			}
+		}
+	})
+	if err != nil {
+		panic(err) // group members are valid processors by construction
+	}
+}

@@ -1,0 +1,116 @@
+// Package sim is the execution substrate of the reproduction: a
+// discrete-event simulator of pipeline workflows running on the paper's
+// platform model. It implements
+//
+//   - the linear communication cost model (X/b time units per X data
+//     units) under the one-port constraint (a processor participates in at
+//     most one send and one receive at a time);
+//   - per-processor computation at speed s_u;
+//   - crash-failure injection: a processor that fails is dead for the
+//     whole run, matching the paper's "does the processor break down at
+//     any time during execution" semantics;
+//   - a rotating-coordinator consensus protocol among the replicas of an
+//     interval to elect the surviving output sender (the paper's
+//     "standard consensus protocol [17]").
+//
+// Two execution modes mirror the paper's analysis. WorstCase drives the
+// adversarial schedule behind Equations (1) and (2) — serialized input
+// copies, barrier hand-off, the worst surviving replica elected — and must
+// reproduce the analytic latency exactly (tests enforce equality to 1e−9).
+// MonteCarlo draws a random failure pattern from the fp_u and measures
+// empirical success rates and latencies; the success rate converges to
+// 1 − FP and per-run latencies never exceed the worst case.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a minimal deterministic discrete-event engine: events fire in
+// (time, insertion order) sequence and may schedule further events.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	count  int
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (clamped to the present: scheduling
+// in the past fires now, keeping causality).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d time units from now (d < 0 is clamped to 0).
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run processes events until none remain and returns how many fired.
+func (e *Engine) Run() int {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time < e.now {
+			panic(fmt.Sprintf("sim: time went backwards (%g < %g)", ev.time, e.now))
+		}
+		e.now = ev.time
+		e.count++
+		ev.fn()
+	}
+	return e.count
+}
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() int { return e.count }
+
+// resource serializes exclusive use of a port or a processor core: claims
+// are granted FIFO in claim order.
+type resource struct {
+	busyUntil float64
+}
+
+// claim reserves the resource from max(ready, free time) for dur units and
+// returns the start and end of the reservation.
+func (r *resource) claim(ready, dur float64) (start, end float64) {
+	start = math.Max(ready, r.busyUntil)
+	end = start + dur
+	r.busyUntil = end
+	return start, end
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	eng.At(2, func() { order = append(order, 2) })
+	eng.At(1, func() { order = append(order, 1) })
+	eng.At(3, func() { order = append(order, 3) })
+	n := eng.Run()
+	if n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTieBreakBySequence(t *testing.T) {
+	eng := &Engine{}
+	var order []string
+	eng.At(1, func() { order = append(order, "a") })
+	eng.At(1, func() { order = append(order, "b") })
+	eng.Run()
+	if order[0] != "a" || order[1] != "b" {
+		t.Errorf("tie order = %v, want insertion order", order)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := &Engine{}
+	var times []float64
+	eng.At(1, func() {
+		times = append(times, eng.Now())
+		eng.After(2, func() { times = append(times, eng.Now()) })
+		eng.After(-5, func() { times = append(times, eng.Now()) }) // clamped to now
+	})
+	eng.Run()
+	if len(times) != 3 || times[0] != 1 || times[1] != 1 || times[2] != 3 {
+		t.Errorf("times = %v, want [1 1 3]", times)
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	eng := &Engine{}
+	fired := 0.0
+	eng.At(5, func() {
+		eng.At(1, func() { fired = eng.Now() }) // in the past: fires now
+	})
+	eng.Run()
+	if fired != 5 {
+		t.Errorf("past event fired at %g, want clamped to 5", fired)
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	eng := &Engine{}
+	for i := 0; i < 10; i++ {
+		eng.At(float64(i), func() {})
+	}
+	if eng.Run() != 10 || eng.Processed() != 10 {
+		t.Error("event count mismatch")
+	}
+}
+
+func TestResourceClaimFIFO(t *testing.T) {
+	r := &resource{}
+	s1, e1 := r.claim(0, 5)
+	if s1 != 0 || e1 != 5 {
+		t.Errorf("first claim (%g,%g), want (0,5)", s1, e1)
+	}
+	s2, e2 := r.claim(2, 3)
+	if s2 != 5 || e2 != 8 {
+		t.Errorf("queued claim (%g,%g), want (5,8)", s2, e2)
+	}
+	s3, e3 := r.claim(20, 1)
+	if s3 != 20 || e3 != 21 {
+		t.Errorf("idle claim (%g,%g), want (20,21)", s3, e3)
+	}
+}
+
+func TestNetworkBandwidthLookup(t *testing.T) {
+	pl, _ := platform.NewFullyHeterogeneous(
+		[]float64{1, 1}, []float64{0, 0},
+		[][]float64{{0, 4}, {4, 0}}, []float64{2, 3}, []float64{5, 6})
+	nw := newNetwork(&Engine{}, pl)
+	cases := []struct {
+		from, to int
+		want     float64
+	}{
+		{PinID, 0, 2}, {PinID, 1, 3}, {0, PoutID, 5}, {1, PoutID, 6}, {0, 1, 4}, {1, 0, 4},
+	}
+	for _, c := range cases {
+		got, err := nw.bandwidth(c.from, c.to)
+		if err != nil || got != c.want {
+			t.Errorf("bandwidth(%d,%d) = %g,%v; want %g", c.from, c.to, got, err, c.want)
+		}
+	}
+	for _, bad := range [][2]int{{0, 0}, {PoutID, 0}, {1, PinID}, {PinID, PoutID}} {
+		if _, err := nw.bandwidth(bad[0], bad[1]); err == nil {
+			t.Errorf("bandwidth(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestNetworkOnePortSerialization(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(3, 1, 2, 0) // all bandwidths 2
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	// P0 sends 4 units to P1 and then to P2: second transfer must wait for
+	// the sender's port (4/2 = 2 time units each).
+	var a1, a2 float64
+	nw.transfer(0, 1, 4, 0, func(at float64) { a1 = at })
+	nw.transfer(0, 2, 4, 0, func(at float64) { a2 = at })
+	eng.Run()
+	if a1 != 2 || a2 != 4 {
+		t.Errorf("arrivals (%g,%g), want (2,4): one-port violated", a1, a2)
+	}
+}
+
+func TestNetworkReceiverPortSerialization(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(3, 1, 1, 0)
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	// P0→P2 and P1→P2 both of size 3: the receiver serializes.
+	var a1, a2 float64
+	nw.transfer(0, 2, 3, 0, func(at float64) { a1 = at })
+	nw.transfer(1, 2, 3, 0, func(at float64) { a2 = at })
+	eng.Run()
+	if a1 != 3 || a2 != 6 {
+		t.Errorf("arrivals (%g,%g), want (3,6): receive port shared", a1, a2)
+	}
+}
+
+func TestTransferChainSerializesAndReports(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(4, 1, 1, 0)
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	var last float64
+	var arr []float64
+	nw.transferChain(0, []int{1, 2, 3}, 2, 1, func(l float64, a []float64) {
+		last, arr = l, a
+	})
+	eng.Run()
+	if last != 7 {
+		t.Errorf("last arrival = %g, want 1+2+2+2 = 7", last)
+	}
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arr, want)
+		}
+	}
+}
+
+func TestTransferChainEmptyTargets(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(1, 1, 1, 0)
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	called := false
+	nw.transferChain(0, nil, 1, 3, func(last float64, arr []float64) {
+		called = true
+		if last != 3 || arr != nil {
+			t.Errorf("empty chain returned (%g, %v)", last, arr)
+		}
+	})
+	eng.Run()
+	if !called {
+		t.Error("empty chain callback not invoked")
+	}
+}
+
+func TestZeroSizeTransferIsInstant(t *testing.T) {
+	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0)
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	var at float64
+	nw.transfer(0, 1, 0, 5, func(a float64) { at = a })
+	eng.Run()
+	if at != 5 {
+		t.Errorf("zero-size transfer arrived at %g, want 5", at)
+	}
+}
+
+// Property: engine processes any random event set in non-decreasing time
+// order.
+func TestEngineMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := &Engine{}
+		var times []float64
+		for i := 0; i < 50; i++ {
+			eng.At(rng.Float64()*100, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// SurvivesFailures reports whether the mapped application survives a given
+// crash pattern: every interval must keep at least one replica alive. This
+// is the event whose probability the paper's FP formula computes.
+func SurvivesFailures(m *mapping.Mapping, failed []bool) bool {
+	for _, procs := range m.Alloc {
+		anyAlive := false
+		for _, u := range procs {
+			if !failed[u] {
+				anyAlive = true
+				break
+			}
+		}
+		if !anyAlive {
+			return false
+		}
+	}
+	return true
+}
+
+// FPEstimate is a Monte-Carlo estimate of the failure probability.
+type FPEstimate struct {
+	FP     float64 // fraction of trials that failed
+	StdErr float64 // binomial standard error sqrt(p(1-p)/trials)
+	Trials int
+}
+
+// Within reports whether the analytic value lies within k standard errors
+// of the estimate (with a tiny absolute floor for p≈0 or p≈1 cases).
+func (e FPEstimate) Within(analytic float64, k float64) bool {
+	slack := k*e.StdErr + 1e-9
+	return math.Abs(e.FP-analytic) <= slack
+}
+
+// EstimateFP estimates the mapping's failure probability by sampling crash
+// patterns directly (each processor fails independently with its fp_u).
+// This is the fast path — no event simulation — used for large trial
+// counts; RunInjected exercises the full simulator on any specific
+// pattern.
+func EstimateFP(pl *platform.Platform, m *mapping.Mapping, trials int, rng *rand.Rand) (FPEstimate, error) {
+	if trials <= 0 {
+		return FPEstimate{}, fmt.Errorf("sim: trials must be > 0")
+	}
+	if err := m.Validate(maxStage(m)+1, pl.NumProcs()); err != nil {
+		return FPEstimate{}, err
+	}
+	failed := make([]bool, pl.NumProcs())
+	failures := 0
+	for t := 0; t < trials; t++ {
+		for u := range failed {
+			failed[u] = rng.Float64() < pl.FailProb[u]
+		}
+		if !SurvivesFailures(m, failed) {
+			failures++
+		}
+	}
+	p := float64(failures) / float64(trials)
+	return FPEstimate{
+		FP:     p,
+		StdErr: math.Sqrt(p * (1 - p) / float64(trials)),
+		Trials: trials,
+	}, nil
+}
+
+func maxStage(m *mapping.Mapping) int {
+	last := 0
+	for _, iv := range m.Intervals {
+		if iv.Last > last {
+			last = iv.Last
+		}
+	}
+	return last
+}

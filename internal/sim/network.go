@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Special endpoint ids for the input and output processors.
+const (
+	PinID  = -1
+	PoutID = -2
+)
+
+// network models the clique interconnect under the one-port model: every
+// endpoint (the m processors plus P_in and P_out) owns one send port and
+// one receive port, each usable by a single transfer at a time.
+type network struct {
+	eng   *Engine
+	pl    *platform.Platform
+	send  map[int]*resource
+	recv  map[int]*resource
+	trace *Trace // nil unless Config.CollectTrace
+}
+
+func newNetwork(eng *Engine, pl *platform.Platform) *network {
+	nw := &network{
+		eng:  eng,
+		pl:   pl,
+		send: make(map[int]*resource, pl.NumProcs()+2),
+		recv: make(map[int]*resource, pl.NumProcs()+2),
+	}
+	for u := -2; u < pl.NumProcs(); u++ {
+		nw.send[u] = &resource{}
+		nw.recv[u] = &resource{}
+	}
+	return nw
+}
+
+// bandwidth returns the bandwidth of the link from endpoint u to endpoint
+// v, following the platform's parameterization (P_in only sends, P_out
+// only receives).
+func (nw *network) bandwidth(from, to int) (float64, error) {
+	switch {
+	case from == PinID && to >= 0:
+		return nw.pl.BIn[to], nil
+	case to == PoutID && from >= 0:
+		return nw.pl.BOut[from], nil
+	case from >= 0 && to >= 0 && from != to:
+		return nw.pl.B[from][to], nil
+	case from >= 0 && to == from:
+		return 0, fmt.Errorf("sim: self transfer on P%d", from+1)
+	default:
+		return 0, fmt.Errorf("sim: no link from %d to %d", from, to)
+	}
+}
+
+// transfer moves size data units from endpoint `from` to endpoint `to`,
+// not starting before `ready`, and calls done with the arrival time. The
+// one-port model is enforced by claiming both the sender's send port and
+// the receiver's receive port for the duration.
+//
+// Zero-size transfers are instantaneous and bypass the ports: the linear
+// cost model charges them nothing, and the paper's latency formulas treat
+// both δ = 0 communications and consensus control traffic as free.
+func (nw *network) transfer(from, to int, size, ready float64, done func(arrival float64)) error {
+	b, err := nw.bandwidth(from, to)
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		nw.eng.At(ready, func() { done(ready) })
+		return nil
+	}
+	dur := size / b
+	start := ready
+	if s := nw.send[from].busyUntil; s > start {
+		start = s
+	}
+	if r := nw.recv[to].busyUntil; r > start {
+		start = r
+	}
+	end := start + dur
+	nw.send[from].busyUntil = end
+	nw.recv[to].busyUntil = end
+	if nw.trace != nil {
+		label := fmt.Sprintf("→%s δ=%g", procName(to), size)
+		nw.trace.add(procName(from)+":send", "transfer", label, start, end)
+		nw.trace.add(procName(to)+":recv", "transfer", procName(from)+"→ ", start, end)
+	}
+	nw.eng.At(end, func() { done(end) })
+	return nil
+}
+
+// transferChain sends size data units from one sender to each target in
+// order (serialized on the sender's port, per the one-port model) and
+// calls done once with the completion time of the final transfer and the
+// per-target arrival times.
+func (nw *network) transferChain(from int, targets []int, size, ready float64, done func(last float64, arrivals []float64)) error {
+	if len(targets) == 0 {
+		nw.eng.At(ready, func() { done(ready, nil) })
+		return nil
+	}
+	arrivals := make([]float64, len(targets))
+	remaining := len(targets)
+	var lastArrival float64
+	for i, to := range targets {
+		i, to := i, to
+		err := nw.transfer(from, to, size, ready, func(arrival float64) {
+			arrivals[i] = arrival
+			if arrival > lastArrival {
+				lastArrival = arrival
+			}
+			remaining--
+			if remaining == 0 {
+				done(lastArrival, arrivals)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// EstimateFPParallel estimates the failure probability like EstimateFP but
+// fans the trials out over `workers` goroutines (0 = GOMAXPROCS). Each
+// worker samples with an independent RNG deterministically derived from
+// seed, so the result is reproducible for a fixed (trials, workers, seed)
+// triple regardless of scheduling.
+func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, workers int, seed int64) (FPEstimate, error) {
+	if trials <= 0 {
+		return FPEstimate{}, fmt.Errorf("sim: trials must be > 0")
+	}
+	if err := m.Validate(maxStage(m)+1, pl.NumProcs()); err != nil {
+		return FPEstimate{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		// Split trials as evenly as possible; the first `trials%workers`
+		// workers take one extra.
+		share := trials / workers
+		if w < trials%workers {
+			share++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// splitmix-style stream separation keeps the per-worker
+			// sequences independent for nearby seeds.
+			rng := rand.New(rand.NewSource(seed ^ (int64(w)+1)*0x5851F42D4C957F2D))
+			failed := make([]bool, pl.NumProcs())
+			local := 0
+			for t := 0; t < share; t++ {
+				for u := range failed {
+					failed[u] = rng.Float64() < pl.FailProb[u]
+				}
+				if !SurvivesFailures(m, failed) {
+					local++
+				}
+			}
+			counts[w] = local
+		}()
+	}
+	wg.Wait()
+
+	failures := 0
+	for _, c := range counts {
+		failures += c
+	}
+	p := float64(failures) / float64(trials)
+	return FPEstimate{
+		FP:     p,
+		StdErr: math.Sqrt(p * (1 - p) / float64(trials)),
+		Trials: trials,
+	}, nil
+}
+
+// MonteCarloLatencyParallel runs `trials` independent Monte-Carlo
+// simulations across `workers` goroutines and aggregates: the empirical
+// failure rate, the mean and maximum latency of completed runs, and the
+// number of completions. Deterministic for fixed (trials, workers, seed).
+func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config, trials, workers int, seed int64) (MCSummary, error) {
+	if trials <= 0 {
+		return MCSummary{}, fmt.Errorf("sim: trials must be > 0")
+	}
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return MCSummary{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	type partial struct {
+		failures  int
+		completed int
+		sumLat    float64
+		maxLat    float64
+	}
+	parts := make([]partial, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		share := trials / workers
+		if w < trials%workers {
+			share++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := cfg
+			local.Mode = MonteCarlo
+			local.RNG = rand.New(rand.NewSource(seed ^ (int64(w)+1)*0x5851F42D4C957F2D))
+			for t := 0; t < share; t++ {
+				res, err := Run(p, pl, m, local)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !res.Completed {
+					parts[w].failures++
+					continue
+				}
+				parts[w].completed++
+				parts[w].sumLat += res.MaxLatency
+				if res.MaxLatency > parts[w].maxLat {
+					parts[w].maxLat = res.MaxLatency
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return MCSummary{}, err
+		}
+	}
+	var sum MCSummary
+	sum.Trials = trials
+	var totLat float64
+	for _, pt := range parts {
+		sum.Failures += pt.failures
+		sum.Completed += pt.completed
+		totLat += pt.sumLat
+		if pt.maxLat > sum.MaxLatency {
+			sum.MaxLatency = pt.maxLat
+		}
+	}
+	if sum.Completed > 0 {
+		sum.MeanLatency = totLat / float64(sum.Completed)
+	}
+	sum.FailureRate = float64(sum.Failures) / float64(trials)
+	return sum, nil
+}
+
+// MCSummary aggregates a parallel Monte-Carlo campaign.
+type MCSummary struct {
+	Trials      int
+	Failures    int
+	Completed   int
+	FailureRate float64
+	MeanLatency float64
+	MaxLatency  float64
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+func TestEstimateFPParallelMatchesAnalytic(t *testing.T) {
+	_, pl := fig5()
+	m := fig5Split()
+	analytic := mapping.FailureProb(pl, m)
+	est, err := EstimateFPParallel(pl, m, 40_000, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Within(analytic, 4) {
+		t.Errorf("parallel estimate %g ± %g vs analytic %g", est.FP, est.StdErr, analytic)
+	}
+	if est.Trials != 40_000 {
+		t.Errorf("Trials = %d, want 40000", est.Trials)
+	}
+}
+
+func TestEstimateFPParallelDeterministic(t *testing.T) {
+	_, pl := fig5()
+	m := fig5Split()
+	a, err := EstimateFPParallel(pl, m, 5000, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateFPParallel(pl, m, 5000, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FP != b.FP {
+		t.Errorf("same seed/workers produced %g and %g", a.FP, b.FP)
+	}
+	// Different worker counts resample but stay in the same band.
+	c, err := EstimateFPParallel(pl, m, 5000, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.FP-c.FP) > 5*(a.StdErr+c.StdErr)+1e-9 {
+		t.Errorf("worker-count change moved estimate beyond noise: %g vs %g", a.FP, c.FP)
+	}
+}
+
+func TestEstimateFPParallelErrors(t *testing.T) {
+	_, pl := fig5()
+	m := fig5Split()
+	if _, err := EstimateFPParallel(pl, m, 0, 2, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := mapping.NewSingleInterval(2, []int{99})
+	if _, err := EstimateFPParallel(pl, bad, 10, 2, 1); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+	// More workers than trials must still work.
+	if _, err := EstimateFPParallel(pl, m, 3, 64, 1); err != nil {
+		t.Errorf("workers > trials failed: %v", err)
+	}
+	// workers <= 0 defaults to GOMAXPROCS.
+	if _, err := EstimateFPParallel(pl, m, 100, 0, 1); err != nil {
+		t.Errorf("default workers failed: %v", err)
+	}
+}
+
+func TestMonteCarloLatencyParallel(t *testing.T) {
+	p, pl := fig5()
+	m := fig5Split()
+	analyticFP := mapping.FailureProb(pl, m)
+	analyticLat, _ := mapping.Latency(p, pl, m)
+	sum, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 2000, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != 2000 || sum.Failures+sum.Completed != 2000 {
+		t.Errorf("trial accounting broken: %+v", sum)
+	}
+	se := math.Sqrt(analyticFP*(1-analyticFP)/2000) + 1e-9
+	if math.Abs(sum.FailureRate-analyticFP) > 5*se {
+		t.Errorf("failure rate %g vs analytic %g", sum.FailureRate, analyticFP)
+	}
+	if sum.MaxLatency > analyticLat+1e-9 {
+		t.Errorf("MC latency %g exceeded worst case %g", sum.MaxLatency, analyticLat)
+	}
+	if sum.MeanLatency <= 0 || sum.MeanLatency > sum.MaxLatency {
+		t.Errorf("mean latency %g out of range (max %g)", sum.MeanLatency, sum.MaxLatency)
+	}
+	// Deterministic.
+	sum2, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 2000, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != sum2 {
+		t.Error("same seed produced different summaries")
+	}
+	if _, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 0, 4, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	p, pl := fig5()
+	m := fig5Split()
+	res, err := Run(p, pl, m, Config{Mode: WorstCase, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Spans) == 0 {
+		t.Fatal("trace not collected")
+	}
+	// The trace must contain Pin sends, computes, and the Pout delivery.
+	kinds := map[string]bool{}
+	resources := map[string]bool{}
+	for _, s := range res.Trace.Spans {
+		kinds[s.Kind] = true
+		resources[s.Resource] = true
+		if s.End < s.Start {
+			t.Fatalf("span ends before it starts: %+v", s)
+		}
+	}
+	if !kinds["compute"] || !kinds["transfer"] {
+		t.Errorf("missing span kinds: %v", kinds)
+	}
+	if !resources["Pin:send"] || !resources["P1:compute"] {
+		t.Errorf("missing resources: %v", resources)
+	}
+	if got := res.Trace.Makespan(); math.Abs(got-res.Makespan) > 1e-9 {
+		t.Errorf("trace makespan %g, run makespan %g", got, res.Makespan)
+	}
+	// Without the flag no trace is allocated.
+	res2, _ := Run(p, pl, m, Config{Mode: WorstCase})
+	if res2.Trace != nil {
+		t.Error("trace allocated without CollectTrace")
+	}
+}
+
+func TestTraceGantt(t *testing.T) {
+	p, pl := fig5()
+	m := fig5Split()
+	res, err := Run(p, pl, m, Config{Mode: WorstCase, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Trace.Gantt(60)
+	if !strings.Contains(g, "Pin:send") || !strings.Contains(g, "P1:compute") {
+		t.Errorf("Gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, "=") {
+		t.Errorf("Gantt missing bars:\n%s", g)
+	}
+	var empty Trace
+	if got := empty.Gantt(40); got != "(empty trace)\n" {
+		t.Errorf("empty trace rendering = %q", got)
+	}
+	// A narrow width is clamped, not crashed.
+	if g := res.Trace.Gantt(1); g == "" {
+		t.Error("narrow Gantt empty")
+	}
+}
+
+func TestTraceInMonteCarloMode(t *testing.T) {
+	p, pl := fig5()
+	m := fig5Split()
+	failed := make([]bool, 11)
+	failed[1] = true
+	res, err := RunInjected(p, pl, m, Config{CollectTrace: true, ConsensusTimeout: 1}, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace in injected mode")
+	}
+	foundConsensus := false
+	for _, s := range res.Trace.Spans {
+		if s.Kind == "consensus" {
+			foundConsensus = true
+		}
+	}
+	if !foundConsensus {
+		t.Error("consensus decision not traced")
+	}
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// Mode selects the failure semantics of a run.
+type Mode int
+
+const (
+	// WorstCase replays the adversarial schedule behind the paper's
+	// latency formulas: every replica of an interval receives the input
+	// (serialized sends), computation starts at the barrier, and the
+	// elected sender is the replica with the worst compute+send term (all
+	// better-placed replicas are assumed to fail right after forwarding).
+	WorstCase Mode = iota
+	// MonteCarlo draws a crash pattern — each processor fails for the
+	// whole run with probability fp_u — and executes the workflow with the
+	// surviving replicas (lowest-ranked survivor elected by consensus,
+	// per-arrival computation starts, dead receivers skipped).
+	MonteCarlo
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Mode Mode
+	// RNG drives failure sampling; required in MonteCarlo mode.
+	RNG *rand.Rand
+	// NumDataSets is the number of data sets streamed through the
+	// pipeline (default 1).
+	NumDataSets int
+	// Period is the release interval between consecutive data sets
+	// (default 0: all released at time 0; P_in serializes them anyway).
+	Period float64
+	// ConsensusTimeout is the detection delay charged per dead
+	// coordinator round in the election protocol (default 0).
+	ConsensusTimeout float64
+	// ControlMsgSize is the size of consensus control messages
+	// (default 0: elections are free, matching the paper's abstraction).
+	ControlMsgSize float64
+	// CollectTrace records every resource occupation into
+	// RunResult.Trace (see Trace.Gantt for rendering).
+	CollectTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumDataSets <= 0 {
+		c.NumDataSets = 1
+	}
+	return c
+}
+
+// RunResult reports a completed simulation.
+type RunResult struct {
+	// Completed is false when some interval lost all of its replicas, in
+	// which case no data set leaves the pipeline.
+	Completed bool
+	// FailedProcs lists the processors that crashed (sorted).
+	FailedProcs []int
+	// DatasetLatencies[d] is the response time of data set d (from its
+	// release to its arrival at P_out). Empty when Completed is false.
+	DatasetLatencies []float64
+	// MaxLatency is the maximum data-set latency (the paper's metric).
+	MaxLatency float64
+	// Makespan is the arrival time of the last data set at P_out.
+	Makespan float64
+	// ConsensusRounds counts coordinator rounds over all elections.
+	ConsensusRounds int
+	// Events is the number of simulator events processed.
+	Events int
+	// Trace holds the resource-occupation spans when Config.CollectTrace
+	// was set (nil otherwise).
+	Trace *Trace
+}
+
+// Run executes the mapped workflow under cfg and returns the measured
+// result. The mapping must be valid for the pipeline/platform pair.
+func Run(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config) (RunResult, error) {
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return RunResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	switch cfg.Mode {
+	case WorstCase:
+		return runWorstCase(p, pl, m, cfg)
+	case MonteCarlo:
+		if cfg.RNG == nil {
+			return RunResult{}, fmt.Errorf("sim: MonteCarlo mode requires Config.RNG")
+		}
+		return runMonteCarlo(p, pl, m, cfg)
+	default:
+		return RunResult{}, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	}
+}
+
+// electWorst returns the replica of interval j with the largest
+// compute-plus-outgoing-communication term — the adversary's choice of
+// surviving sender in Equations (1) and (2).
+func electWorst(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, j int) int {
+	iv := m.Intervals[j]
+	work := p.Work(iv.First, iv.Last)
+	out := p.OutputSize(iv.Last)
+	best, bestTerm := -1, math.Inf(-1)
+	for _, u := range m.Alloc[j] {
+		term := work / pl.Speed[u]
+		if j == len(m.Intervals)-1 {
+			term += out / pl.BOut[u]
+		} else {
+			for _, v := range m.Alloc[j+1] {
+				term += out / pl.B[u][v]
+			}
+		}
+		if term > bestTerm {
+			best, bestTerm = u, term
+		}
+	}
+	return best
+}
+
+// runWorstCase executes the adversarial schedule. The resulting maximum
+// latency equals mapping.LatencyEq2 (hence Eq. (1) on CommHom platforms)
+// for a single data set; with several data sets resources are shared FIFO
+// and latencies can only grow.
+func runWorstCase(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config) (RunResult, error) {
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	compute := make(map[int]*resource, pl.NumProcs())
+	for u := 0; u < pl.NumProcs(); u++ {
+		compute[u] = &resource{}
+	}
+	res := RunResult{Completed: true, DatasetLatencies: make([]float64, cfg.NumDataSets)}
+	if cfg.CollectTrace {
+		res.Trace = &Trace{}
+		nw.trace = res.Trace
+	}
+	var runErr error
+
+	var startInterval func(d, j int, ready, release float64)
+	startInterval = func(d, j int, ready, release float64) {
+		iv := m.Intervals[j]
+		work := p.Work(iv.First, iv.Last)
+		elected := electWorst(p, pl, m, j)
+		// All replicas compute from the barrier; only the elected one
+		// gates the dataflow (the others are assumed to fail after it).
+		var electedEnd float64
+		for _, u := range m.Alloc[j] {
+			start, end := compute[u].claim(ready, work/pl.Speed[u])
+			res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			if u == elected {
+				electedEnd = end
+			}
+		}
+		out := p.OutputSize(iv.Last)
+		if j == len(m.Intervals)-1 {
+			err := nw.transfer(elected, PoutID, out, electedEnd, func(arrival float64) {
+				res.DatasetLatencies[d] = arrival - release
+				if arrival > res.Makespan {
+					res.Makespan = arrival
+				}
+			})
+			if err != nil {
+				runErr = err
+			}
+			return
+		}
+		err := nw.transferChain(elected, m.Alloc[j+1], out, electedEnd, func(last float64, _ []float64) {
+			startInterval(d, j+1, last, release)
+		})
+		if err != nil {
+			runErr = err
+		}
+	}
+
+	for d := 0; d < cfg.NumDataSets; d++ {
+		d := d
+		release := float64(d) * cfg.Period
+		eng.At(release, func() {
+			err := nw.transferChain(PinID, m.Alloc[0], p.InputSize(0), release, func(last float64, _ []float64) {
+				startInterval(d, 0, last, release)
+			})
+			if err != nil {
+				runErr = err
+			}
+		})
+	}
+	res.Events = eng.Run()
+	if runErr != nil {
+		return RunResult{}, runErr
+	}
+	for _, lat := range res.DatasetLatencies {
+		if lat > res.MaxLatency {
+			res.MaxLatency = lat
+		}
+	}
+	return res, nil
+}
+
+// runMonteCarlo samples a crash pattern and executes the workflow with the
+// survivors.
+func runMonteCarlo(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config) (RunResult, error) {
+	failed := make([]bool, pl.NumProcs())
+	for u := range failed {
+		if cfg.RNG.Float64() < pl.FailProb[u] {
+			failed[u] = true
+		}
+	}
+	return runWithFailures(p, pl, m, cfg, failed)
+}
+
+// runWithFailures executes the workflow given an explicit crash pattern.
+// Exposed to tests (and the failure-injection example) via RunInjected.
+func runWithFailures(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config, failed []bool) (RunResult, error) {
+	res := RunResult{}
+	for u, f := range failed {
+		if f {
+			res.FailedProcs = append(res.FailedProcs, u)
+		}
+	}
+	sort.Ints(res.FailedProcs)
+	alive := func(u int) bool { return !failed[u] }
+
+	// An interval with no surviving replica kills the whole application.
+	aliveReplicas := make([][]int, len(m.Intervals))
+	for j, procs := range m.Alloc {
+		for _, u := range procs {
+			if alive(u) {
+				aliveReplicas[j] = append(aliveReplicas[j], u)
+			}
+		}
+		if len(aliveReplicas[j]) == 0 {
+			res.Completed = false
+			return res, nil
+		}
+	}
+	res.Completed = true
+	res.DatasetLatencies = make([]float64, cfg.NumDataSets)
+
+	eng := &Engine{}
+	nw := newNetwork(eng, pl)
+	if cfg.CollectTrace {
+		res.Trace = &Trace{}
+		nw.trace = res.Trace
+	}
+	compute := make(map[int]*resource, pl.NumProcs())
+	for u := 0; u < pl.NumProcs(); u++ {
+		compute[u] = &resource{}
+	}
+	var runErr error
+
+	var startInterval func(d, j int, arrivals []float64, release float64)
+	startInterval = func(d, j int, arrivals []float64, release float64) {
+		iv := m.Intervals[j]
+		work := p.Work(iv.First, iv.Last)
+		// Every surviving replica computes from its own arrival time.
+		leader := aliveReplicas[j][0]
+		var leaderEnd float64
+		for i, u := range aliveReplicas[j] {
+			start, end := compute[u].claim(arrivals[i], work/pl.Speed[u])
+			res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			if u == leader {
+				leaderEnd = end
+			}
+		}
+		// Elect the outgoing sender among the full replica set (dead
+		// coordinators burn timeout rounds).
+		runConsensus(nw, m.Alloc[j], alive, leaderEnd, cfg.ConsensusTimeout, cfg.ControlMsgSize,
+			func(cres consensusResult, ok bool) {
+				if !ok {
+					runErr = fmt.Errorf("sim: consensus failed with survivors present")
+					return
+				}
+				res.ConsensusRounds += cres.Rounds
+				res.Trace.add(procName(cres.Leader)+":compute", "consensus",
+					fmt.Sprintf("d%d I%d elect", d, j+1), cres.Decided, cres.Decided)
+				out := p.OutputSize(iv.Last)
+				// The leader is the lowest-ranked survivor; its result is
+				// ready at leaderEnd and the election decided at
+				// cres.Decided ≥ leaderEnd.
+				sendReady := cres.Decided
+				if j == len(m.Intervals)-1 {
+					err := nw.transfer(cres.Leader, PoutID, out, sendReady, func(arrival float64) {
+						res.DatasetLatencies[d] = arrival - release
+						if arrival > res.Makespan {
+							res.Makespan = arrival
+						}
+					})
+					if err != nil {
+						runErr = err
+					}
+					return
+				}
+				err := nw.transferChain(cres.Leader, aliveReplicas[j+1], out, sendReady, func(_ float64, arr []float64) {
+					startInterval(d, j+1, arr, release)
+				})
+				if err != nil {
+					runErr = err
+				}
+			})
+	}
+
+	for d := 0; d < cfg.NumDataSets; d++ {
+		d := d
+		release := float64(d) * cfg.Period
+		eng.At(release, func() {
+			err := nw.transferChain(PinID, aliveReplicas[0], p.InputSize(0), release, func(_ float64, arr []float64) {
+				startInterval(d, 0, arr, release)
+			})
+			if err != nil {
+				runErr = err
+			}
+		})
+	}
+	res.Events = eng.Run()
+	if runErr != nil {
+		return RunResult{}, runErr
+	}
+	for _, lat := range res.DatasetLatencies {
+		if lat > res.MaxLatency {
+			res.MaxLatency = lat
+		}
+	}
+	return res, nil
+}
+
+// RunInjected executes the workflow with an explicit crash pattern (true =
+// failed), for failure-injection studies. cfg.Mode is ignored.
+func RunInjected(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config, failed []bool) (RunResult, error) {
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return RunResult{}, err
+	}
+	if len(failed) != pl.NumProcs() {
+		return RunResult{}, fmt.Errorf("sim: failure vector has %d entries, want %d", len(failed), pl.NumProcs())
+	}
+	cfg = cfg.withDefaults()
+	return runWithFailures(p, pl, m, cfg, append([]bool(nil), failed...))
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one traced resource occupation: a transfer holding a port, a
+// computation holding a core, or a consensus decision point.
+type Span struct {
+	// Resource names the occupied resource, e.g. "P3:compute",
+	// "P1:send", "Pin:send", "Pout:recv".
+	Resource string
+	// Kind is "compute", "transfer" or "consensus".
+	Kind string
+	// Label carries human-readable detail ("d0 →P4 δ=1").
+	Label string
+	// Start and End bound the occupation in simulation time.
+	Start, End float64
+}
+
+// Trace accumulates spans during a simulation run (enable with
+// Config.CollectTrace). The zero value is ready to use.
+type Trace struct {
+	Spans []Span
+}
+
+func (t *Trace) add(resource, kind, label string, start, end float64) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Resource: resource, Kind: kind, Label: label, Start: start, End: end})
+}
+
+// Makespan returns the end of the last span.
+func (t *Trace) Makespan() float64 {
+	end := 0.0
+	for _, s := range t.Spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Gantt renders the trace as an ASCII chart, one row per resource, scaled
+// to width columns. Instantaneous spans are drawn as '|'; busy time as
+// '#' for computations and '=' for transfers.
+func (t *Trace) Gantt(width int) string {
+	if len(t.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	makespan := t.Makespan()
+	if makespan <= 0 {
+		makespan = 1
+	}
+	scale := float64(width) / makespan
+
+	byResource := make(map[string][]Span)
+	for _, s := range t.Spans {
+		byResource[s.Resource] = append(byResource[s.Resource], s)
+	}
+	resources := make([]string, 0, len(byResource))
+	for r := range byResource {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+
+	nameWidth := 0
+	for _, r := range resources {
+		if len(r) > nameWidth {
+			nameWidth = len(r)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s 0%s%.4g\n", nameWidth, "time", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", makespan))), makespan)
+	for _, r := range resources {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range byResource[r] {
+			lo := int(math.Floor(s.Start * scale))
+			hi := int(math.Ceil(s.End * scale))
+			if lo >= width {
+				lo = width - 1
+			}
+			if hi > width {
+				hi = width
+			}
+			ch := byte('=')
+			switch s.Kind {
+			case "compute":
+				ch = '#'
+			case "consensus":
+				ch = '|'
+			}
+			if hi <= lo { // instantaneous
+				row[lo] = '|'
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", nameWidth, r, string(row))
+	}
+	return b.String()
+}
+
+// procName renders an endpoint id for trace labels.
+func procName(id int) string {
+	switch id {
+	case PinID:
+		return "Pin"
+	case PoutID:
+		return "Pout"
+	default:
+		return fmt.Sprintf("P%d", id+1)
+	}
+}

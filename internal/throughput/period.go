@@ -1,0 +1,203 @@
+// Package throughput implements the paper's announced future work
+// (Section 5): the interplay between throughput, latency and reliability.
+//
+// For streaming workloads the steady-state *period* P — the inverse of the
+// throughput — is the time between consecutive data sets leaving the
+// pipeline. Two classic machine models are provided:
+//
+//   - PeriodOverlap: every processor owns independent receive, compute and
+//     send resources (communication/computation overlap); the period is
+//     the cycle time of the bottleneck resource. This matches the
+//     discrete-event simulator of package sim exactly (tests enforce
+//     equality of the simulated steady state).
+//
+//   - PeriodNoOverlap: a processor performs its receive, compute and send
+//     phases sequentially (the non-overlap model of the multi-criteria
+//     companion papers [4,5]); the period is the largest per-processor
+//     sum. It upper-bounds the overlap period.
+//
+// The package also implements the paper's "second type of replication":
+// round-robin data parallelism, where an interval is served by several
+// replica groups that process data sets in turn (RRMapping). Round-robin
+// groups divide the period but multiply the failure modes — every group
+// must survive, since each one owns a share of the data sets — which is
+// precisely the three-way trade-off the paper's future work points at.
+package throughput
+
+import (
+	"math"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// senderOf returns the worst-case elected sender of interval j (the
+// replica maximizing compute plus outgoing communication, as in the
+// latency formulas and the worst-case simulator).
+func senderOf(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, j int) int {
+	iv := m.Intervals[j]
+	work := p.Work(iv.First, iv.Last)
+	out := p.OutputSize(iv.Last)
+	best, bestTerm := -1, math.Inf(-1)
+	for _, u := range m.Alloc[j] {
+		term := work / pl.Speed[u]
+		if j == len(m.Intervals)-1 {
+			term += out / pl.BOut[u]
+		} else {
+			for _, v := range m.Alloc[j+1] {
+				term += out / pl.B[u][v]
+			}
+		}
+		if term > bestTerm {
+			best, bestTerm = u, term
+		}
+	}
+	return best
+}
+
+// PeriodOverlap computes the steady-state period of the worst-case
+// schedule under the overlap model: the maximum, over every resource on
+// the output-gating dataflow, of that resource's busy time per data set:
+//
+//   - P_in's send port:        Σ_{u∈alloc(1)} δ_{d_1−1}/b_{in,u}
+//   - each sender's compute:   W_j/s_{sender_j}
+//   - each receiver's port:    δ_{d_j−1}/b_{sender_{j−1},u}
+//   - each sender's send port: Σ_{v∈alloc(j+1)} δ_{e_j}/b_{sender_j,v}
+//   - P_out's receive port:    δ_n/b_{sender_p,out}
+//
+// where sender_j is the worst-case elected replica of interval j. Only
+// the elected replicas' compute cycles gate the output stream — the other
+// replicas compute in parallel behind their own (unbounded) queues. The
+// discrete-event simulator's steady-state inter-completion gap equals
+// this value exactly (tests enforce it); use PeriodSustainable when every
+// hot standby must also keep up with the stream.
+func PeriodOverlap(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) (float64, error) {
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return 0, err
+	}
+	period := 0.0
+	upd := func(x float64) {
+		if x > period {
+			period = x
+		}
+	}
+	// P_in serializes one copy per replica of the first interval.
+	pinCycle := 0.0
+	for _, u := range m.Alloc[0] {
+		pinCycle += p.InputSize(m.Intervals[0].First) / pl.BIn[u]
+	}
+	upd(pinCycle)
+
+	for j, iv := range m.Intervals {
+		work := p.Work(iv.First, iv.Last)
+		s := senderOf(p, pl, m, j)
+		// Compute cycle of the output-gating (elected) replica.
+		upd(work / pl.Speed[s])
+		// Receive cycles: each replica of interval j receives one copy per
+		// data set from the previous sender (P_in handled above), and the
+		// chain's last arrival gates the next barrier.
+		if j > 0 {
+			w := senderOf(p, pl, m, j-1)
+			in := p.InputSize(iv.First)
+			for _, u := range m.Alloc[j] {
+				upd(in / pl.B[w][u])
+			}
+		}
+		// Send cycle of this interval's elected sender.
+		out := p.OutputSize(iv.Last)
+		if j == len(m.Intervals)-1 {
+			upd(out / pl.BOut[s])
+		} else {
+			sendCycle := 0.0
+			for _, v := range m.Alloc[j+1] {
+				sendCycle += out / pl.B[s][v]
+			}
+			upd(sendCycle)
+		}
+	}
+	return period, nil
+}
+
+// PeriodSustainable is PeriodOverlap with every replica's compute cycle
+// included: the smallest period at which no processor's queue diverges,
+// i.e. at which all hot standbys keep pace with the stream and remain
+// usable as failover targets. PeriodOverlap ≤ PeriodSustainable ≤
+// PeriodNoOverlap.
+func PeriodSustainable(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) (float64, error) {
+	period, err := PeriodOverlap(p, pl, m)
+	if err != nil {
+		return 0, err
+	}
+	for j, iv := range m.Intervals {
+		work := p.Work(iv.First, iv.Last)
+		for _, u := range m.Alloc[j] {
+			if c := work / pl.Speed[u]; c > period {
+				period = c
+			}
+		}
+	}
+	return period, nil
+}
+
+// PeriodNoOverlap computes the steady-state period under the non-overlap
+// model: each processor's receive + compute + send phases serialize, so
+// its cycle is their sum; the period is the worst cycle (with P_in and
+// P_out cycles as in the overlap model).
+func PeriodNoOverlap(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) (float64, error) {
+	if err := m.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		return 0, err
+	}
+	period := 0.0
+	upd := func(x float64) {
+		if x > period {
+			period = x
+		}
+	}
+	pinCycle := 0.0
+	for _, u := range m.Alloc[0] {
+		pinCycle += p.InputSize(m.Intervals[0].First) / pl.BIn[u]
+	}
+	upd(pinCycle)
+
+	for j, iv := range m.Intervals {
+		work := p.Work(iv.First, iv.Last)
+		in := p.InputSize(iv.First)
+		out := p.OutputSize(iv.Last)
+		s := senderOf(p, pl, m, j)
+		for _, u := range m.Alloc[j] {
+			cycle := work / pl.Speed[u]
+			// Receive one copy per data set.
+			if j == 0 {
+				cycle += in / pl.BIn[u]
+			} else {
+				w := senderOf(p, pl, m, j-1)
+				cycle += in / pl.B[w][u]
+			}
+			// Only the elected sender pays the outgoing chain.
+			if u == s {
+				if j == len(m.Intervals)-1 {
+					cycle += out / pl.BOut[u]
+				} else {
+					for _, v := range m.Alloc[j+1] {
+						cycle += out / pl.B[u][v]
+					}
+				}
+			}
+			upd(cycle)
+		}
+	}
+	return period, nil
+}
+
+// Throughput returns data sets per time unit under the overlap model.
+func Throughput(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping) (float64, error) {
+	period, err := PeriodOverlap(p, pl, m)
+	if err != nil {
+		return 0, err
+	}
+	if period == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / period, nil
+}

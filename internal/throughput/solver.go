@@ -1,0 +1,191 @@
+package throughput
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// ErrInfeasible is returned when the tri-criteria enumeration finds no
+// RR mapping within both thresholds.
+var ErrInfeasible = errors.New("throughput: no RR mapping satisfies the constraints")
+
+// TriResult is a solved tri-criteria instance.
+type TriResult struct {
+	Mapping *RRMapping
+	Metrics Metrics
+}
+
+const latencyTol = 1e-9
+
+func leqTol(x, bound float64) bool {
+	return x <= bound+latencyTol*math.Max(1, math.Abs(bound))
+}
+
+// forEachGrouping enumerates every partition of procs into non-empty
+// groups (set partitions, by restricted growth strings) and calls visit
+// with each grouping. The slices passed to visit are reused.
+func forEachGrouping(procs []int, visit func(groups [][]int) bool) bool {
+	k := len(procs)
+	rgs := make([]int, k) // rgs[i] = group of procs[i]
+	maxSeen := make([]int, k)
+	var rec func(i, top int) bool
+	rec = func(i, top int) bool {
+		if i == k {
+			groups := make([][]int, top+1)
+			for idx, g := range rgs {
+				groups[g] = append(groups[g], procs[idx])
+			}
+			return visit(groups)
+		}
+		for g := 0; g <= top+1 && g < k; g++ {
+			rgs[i] = g
+			nt := top
+			if g > top {
+				nt = g
+			}
+			maxSeen[i] = nt
+			if !rec(i+1, nt) {
+				return false
+			}
+		}
+		return true
+	}
+	if k == 0 {
+		return true
+	}
+	rgs[0] = 0
+	return rec(1, 0)
+}
+
+// MinPeriodUnderConstraints finds, by exhaustive enumeration over interval
+// mappings and all round-robin groupings of each replica set, the RR
+// mapping of minimum period among those with latency ≤ maxLatency and
+// failure probability ≤ maxFailProb. Use math.Inf(1) and 1 to leave a
+// criterion unconstrained. Instances must be small (the grouping space
+// multiplies Bell numbers into the mapping enumeration).
+func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxLatency, maxFailProb float64, opts exact.Options) (TriResult, error) {
+	best := TriResult{Metrics: Metrics{Period: math.Inf(1)}}
+	opts.Replication = true
+	err := exact.ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(m *mapping.Mapping) bool {
+		enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+			met, err := r.Evaluate(p, pl)
+			if err != nil {
+				return
+			}
+			if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
+				return
+			}
+			if met.Period < best.Metrics.Period ||
+				(met.Period == best.Metrics.Period && met.Latency < best.Metrics.Latency) {
+				best = TriResult{Mapping: cloneRR(r), Metrics: met}
+			}
+		})
+		return true
+	})
+	if err != nil {
+		return TriResult{}, err
+	}
+	if best.Mapping == nil {
+		return TriResult{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// TriPareto enumerates the full three-criteria Pareto front (latency,
+// failure probability, period) over RR mappings of a small instance.
+func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) (*TriFront, error) {
+	front := &TriFront{}
+	opts.Replication = true
+	err := exact.ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(m *mapping.Mapping) bool {
+		enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+			met, err := r.Evaluate(p, pl)
+			if err != nil {
+				return
+			}
+			front.Insert(met, r)
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return front, nil
+}
+
+// enumerateGroupings recursively replaces interval j's single group by
+// every set partition of its replica set.
+func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, visit func(*RRMapping)) {
+	if j == len(m.Alloc) {
+		visit(r)
+		return
+	}
+	forEachGrouping(m.Alloc[j], func(groups [][]int) bool {
+		r.Groups[j] = groups
+		enumerateGroupings(m, j+1, r, visit)
+		return true
+	})
+	r.Groups[j] = [][]int{m.Alloc[j]}
+}
+
+func cloneRR(r *RRMapping) *RRMapping {
+	cp := &RRMapping{Intervals: append([]mapping.Interval(nil), r.Intervals...)}
+	for _, groups := range r.Groups {
+		var gg [][]int
+		for _, g := range groups {
+			gg = append(gg, append([]int(nil), g...))
+		}
+		cp.Groups = append(cp.Groups, gg)
+	}
+	return cp
+}
+
+// GreedyRR is the scalable heuristic: start from a reliability mapping
+// (typically the core solver's answer), then repeatedly split the group
+// whose cycle bottlenecks the period into two round-robin halves, as long
+// as the period improves and both constraints keep holding.
+func GreedyRR(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, maxLatency, maxFailProb float64) (TriResult, error) {
+	cur := FromMapping(m)
+	met, err := cur.Evaluate(p, pl)
+	if err != nil {
+		return TriResult{}, err
+	}
+	if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
+		return TriResult{}, ErrInfeasible
+	}
+	best := TriResult{Mapping: cloneRR(cur), Metrics: met}
+	for {
+		improved := false
+		// Try splitting every group with ≥ 2 replicas into two halves.
+		for j := range best.Mapping.Groups {
+			for g := range best.Mapping.Groups[j] {
+				procs := best.Mapping.Groups[j][g]
+				if len(procs) < 2 {
+					continue
+				}
+				next := cloneRR(best.Mapping)
+				half := len(procs) / 2
+				next.Groups[j] = append(next.Groups[j][:g:g],
+					append([][]int{procs[:half:half], procs[half:]}, next.Groups[j][g+1:]...)...)
+				met, err := next.Evaluate(p, pl)
+				if err != nil {
+					continue
+				}
+				if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
+					continue
+				}
+				if met.Period < best.Metrics.Period-1e-12 {
+					best = TriResult{Mapping: next, Metrics: met}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return best, nil
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package throughput
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func TestPeriodOverlapHandComputed(t *testing.T) {
+	// Single interval on one processor, CommHom b=2:
+	// cycles: Pin 8/2 = 4, compute 6/3 = 2, send 10/2 = 5 → period 5.
+	p := pipeline.MustNew([]float64{6}, []float64{8, 10})
+	pl, _ := platform.NewCommHomogeneous([]float64{3}, []float64{0}, 2)
+	m := mapping.NewSingleInterval(1, []int{0})
+	per, err := PeriodOverlap(p, pl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 5 {
+		t.Errorf("period = %g, want 5", per)
+	}
+	// Non-overlap on the same instance: 4 (Pin) vs 8/2+2+5 = 11 → 11.
+	perNo, err := PeriodNoOverlap(p, pl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perNo != 11 {
+		t.Errorf("no-overlap period = %g, want 11", perNo)
+	}
+	tput, err := Throughput(p, pl, m)
+	if err != nil || tput != 0.2 {
+		t.Errorf("throughput = %g (%v), want 0.2", tput, err)
+	}
+}
+
+func TestPeriodReplicationRaisesInputCycle(t *testing.T) {
+	// Two replicas: Pin sends two copies per data set → Pin cycle 8.
+	p := pipeline.MustNew([]float64{6}, []float64{8, 1})
+	pl, _ := platform.NewCommHomogeneous([]float64{3, 3}, []float64{0.5, 0.5}, 2)
+	m1 := mapping.NewSingleInterval(1, []int{0})
+	m2 := mapping.NewSingleInterval(1, []int{0, 1})
+	p1, _ := PeriodOverlap(p, pl, m1)
+	p2, _ := PeriodOverlap(p, pl, m2)
+	if p1 != 4 || p2 != 8 {
+		t.Errorf("periods = %g, %g; want 4, 8", p1, p2)
+	}
+}
+
+func TestPeriodValidates(t *testing.T) {
+	p := pipeline.Uniform(2, 1, 1)
+	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0)
+	bad := mapping.NewSingleInterval(1, []int{0})
+	if _, err := PeriodOverlap(p, pl, bad); err == nil {
+		t.Error("invalid mapping accepted by PeriodOverlap")
+	}
+	if _, err := PeriodNoOverlap(p, pl, bad); err == nil {
+		t.Error("invalid mapping accepted by PeriodNoOverlap")
+	}
+}
+
+// Property: overlap period ≤ no-overlap period ≤ latency (each resource
+// cycle is a summand of some processor cycle, which is a summand of the
+// latency).
+func TestPeriodOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := n + rng.Intn(4)
+		p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		mp := randomIntervalMapping(rng, n, m)
+		po, err1 := PeriodOverlap(p, pl, mp)
+		ps, err4 := PeriodSustainable(p, pl, mp)
+		pn, err2 := PeriodNoOverlap(p, pl, mp)
+		lat, err3 := mapping.LatencyEq2(p, pl, mp)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return po <= ps+1e-9 && ps <= pn+1e-9 && pn <= lat+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulatorSteadyState (the substantive validation): streaming many
+// data sets through the worst-case simulator, the inter-completion gap
+// converges exactly to PeriodOverlap.
+func TestSimulatorSteadyState(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := n + rng.Intn(3)
+		p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
+		mp := randomIntervalMapping(rng, n, m)
+		want, err := PeriodOverlap(p, pl, mp)
+		if err != nil {
+			return false
+		}
+		const d = 48
+		res, err := sim.Run(p, pl, mp, sim.Config{Mode: sim.WorstCase, NumDataSets: d})
+		if err != nil {
+			return false
+		}
+		gap := res.DatasetLatencies[d-1] - res.DatasetLatencies[d-2]
+		return math.Abs(gap-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomIntervalMapping(rng *rand.Rand, n, m int) *mapping.Mapping {
+	pCount := 1 + rng.Intn(minInt(n, m))
+	bounds := rng.Perm(n - 1)
+	if len(bounds) > pCount-1 {
+		bounds = bounds[:pCount-1]
+	} else {
+		pCount = len(bounds) + 1
+	}
+	for i := 1; i < len(bounds); i++ {
+		for j := i; j > 0 && bounds[j] < bounds[j-1]; j-- {
+			bounds[j], bounds[j-1] = bounds[j-1], bounds[j]
+		}
+	}
+	mp := &mapping.Mapping{}
+	start := 0
+	for j := 0; j < pCount; j++ {
+		end := n - 1
+		if j < pCount-1 {
+			end = bounds[j]
+		}
+		mp.Intervals = append(mp.Intervals, mapping.Interval{First: start, Last: end})
+		start = end + 1
+	}
+	procs := rng.Perm(m)
+	mp.Alloc = make([][]int, pCount)
+	for j := 0; j < pCount; j++ {
+		mp.Alloc[j] = []int{procs[j]}
+	}
+	for _, u := range procs[pCount:] {
+		if rng.Float64() < 0.5 {
+			j := rng.Intn(pCount)
+			mp.Alloc[j] = append(mp.Alloc[j], u)
+		}
+	}
+	return mp
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRRValidate(t *testing.T) {
+	good := &RRMapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Groups:    [][][]int{{{0}}, {{1}, {2, 3}}},
+	}
+	if err := good.Validate(2, 4); err != nil {
+		t.Fatalf("valid RR mapping rejected: %v", err)
+	}
+	cases := []*RRMapping{
+		{},
+		{Intervals: []mapping.Interval{{First: 0, Last: 1}}, Groups: [][][]int{{}}},
+		{Intervals: []mapping.Interval{{First: 0, Last: 1}}, Groups: [][][]int{{{}}}},
+		{Intervals: []mapping.Interval{{First: 0, Last: 1}}, Groups: [][][]int{{{9}}}},
+		{Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}}, Groups: [][][]int{{{0}}, {{0}}}},
+		{Intervals: []mapping.Interval{{First: 0, Last: 0}}, Groups: [][][]int{{{0}}}}, // misses stage 2
+	}
+	for i, r := range cases {
+		if err := r.Validate(2, 4); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFromMappingFlattenRoundTrip(t *testing.T) {
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 1}, {First: 2, Last: 2}},
+		Alloc:     [][]int{{0, 1}, {2}},
+	}
+	r := FromMapping(m)
+	if err := r.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := r.Flatten()
+	if !ok {
+		t.Fatal("single-group RR mapping did not flatten")
+	}
+	if back.String() != m.String() {
+		t.Errorf("round trip changed mapping: %s vs %s", back, m)
+	}
+	r.Groups[0] = [][]int{{0}, {1}}
+	if _, ok := r.Flatten(); ok {
+		t.Error("multi-group mapping flattened")
+	}
+}
+
+func TestRRString(t *testing.T) {
+	r := &RRMapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}},
+		Groups:    [][][]int{{{0}, {1, 2}}},
+	}
+	if got := r.String(); got != "[S1]->{P1|P2,P3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: single-group RR mappings agree with the reliability-only
+// evaluators (latency Eq. (2), FP formula, PeriodOverlap).
+func TestRRSingleGroupConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := n + rng.Intn(3)
+		p := pipeline.Random(rng, n, 0.5, 10, 0.5, 10)
+		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0.1, 0.9, 1, 20)
+		mp := randomIntervalMapping(rng, n, m)
+		r := FromMapping(mp)
+		met, err := r.Evaluate(p, pl)
+		if err != nil {
+			return false
+		}
+		lat, _ := mapping.LatencyEq2(p, pl, mp)
+		fp := mapping.FailureProb(pl, mp)
+		per, _ := PeriodOverlap(p, pl, mp)
+		return math.Abs(met.Latency-lat) <= 1e-9*math.Max(1, lat) &&
+			math.Abs(met.FailureProb-fp) <= 1e-12 &&
+			math.Abs(met.Period-per) <= 1e-9*math.Max(1, per)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRRSplitTradeoff: splitting a replicated group into round-robin
+// halves lowers the period but raises the failure probability — the
+// paper's announced trade-off, in numbers.
+func TestRRSplitTradeoff(t *testing.T) {
+	p := pipeline.MustNew([]float64{100}, []float64{1, 1})
+	pl, _ := platform.NewCommHomogeneous([]float64{10, 10}, []float64{0.3, 0.3}, 5)
+	whole := FromMapping(mapping.NewSingleInterval(1, []int{0, 1}))
+	split := &RRMapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}},
+		Groups:    [][][]int{{{0}, {1}}},
+	}
+	mw, err := whole.Evaluate(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := split.Evaluate(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ms.Period < mw.Period) {
+		t.Errorf("round-robin did not lower the period: %g vs %g", ms.Period, mw.Period)
+	}
+	if !(ms.FailureProb > mw.FailureProb) {
+		t.Errorf("round-robin did not raise FP: %g vs %g", ms.FailureProb, mw.FailureProb)
+	}
+	// Hand numbers: whole compute cycle 100/10 = 10; split 100/10/2 = 5.
+	if mw.Period != 10 || ms.Period != 5 {
+		t.Errorf("periods = %g, %g; want 10, 5", mw.Period, ms.Period)
+	}
+	// FP: 1-(1-0.09) = 0.09 vs 1-(1-0.3)^2 = 0.51.
+	if math.Abs(mw.FailureProb-0.09) > 1e-12 || math.Abs(ms.FailureProb-0.51) > 1e-12 {
+		t.Errorf("FPs = %g, %g; want 0.09, 0.51", mw.FailureProb, ms.FailureProb)
+	}
+}
+
+func TestForEachGroupingCountsBellNumbers(t *testing.T) {
+	for _, c := range []struct{ k, bell int }{{1, 1}, {2, 2}, {3, 5}, {4, 15}} {
+		procs := make([]int, c.k)
+		for i := range procs {
+			procs[i] = i
+		}
+		count := 0
+		forEachGrouping(procs, func(groups [][]int) bool {
+			total := 0
+			for _, g := range groups {
+				if len(g) == 0 {
+					t.Fatal("empty group enumerated")
+				}
+				total += len(g)
+			}
+			if total != c.k {
+				t.Fatal("grouping loses processors")
+			}
+			count++
+			return true
+		})
+		if count != c.bell {
+			t.Errorf("k=%d: %d partitions, want Bell=%d", c.k, count, c.bell)
+		}
+	}
+}
+
+func TestMinPeriodUnderConstraints(t *testing.T) {
+	p := pipeline.MustNew([]float64{100}, []float64{1, 1})
+	pl, _ := platform.NewCommHomogeneous([]float64{10, 10, 10}, []float64{0.3, 0.3, 0.3}, 5)
+	// Unconstrained: three singleton groups give compute cycle 10/3.
+	res, err := MinPeriodUnderConstraints(p, pl, math.Inf(1), 1, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Period-10.0/3) > 1e-9 {
+		t.Errorf("period = %g, want 10/3", res.Metrics.Period)
+	}
+	// A tight FP bound forbids round-robin splits: FP ≤ 0.1 requires the
+	// full reliability pair {0,1,2}… 1-(1-0.027)=0.027 ≤ 0.1 ✓ single
+	// group, period 10.
+	res, err = MinPeriodUnderConstraints(p, pl, math.Inf(1), 0.1, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.FailureProb > 0.1+1e-12 {
+		t.Errorf("FP %g violates bound", res.Metrics.FailureProb)
+	}
+	if math.Abs(res.Metrics.Period-10) > 1e-9 {
+		t.Errorf("period = %g, want 10 (no split allowed)", res.Metrics.Period)
+	}
+	// Impossible bounds.
+	if _, err := MinPeriodUnderConstraints(p, pl, 0.5, 1, exact.Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyRRConsistency(t *testing.T) {
+	p := pipeline.MustNew([]float64{100}, []float64{1, 1})
+	pl, _ := platform.NewCommHomogeneous([]float64{10, 10, 10, 10}, []float64{0.3, 0.3, 0.3, 0.3}, 5)
+	m := mapping.NewSingleInterval(1, []int{0, 1, 2, 3})
+	res, err := GreedyRR(p, pl, m, math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := FromMapping(m).Evaluate(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Period > base.Period {
+		t.Errorf("greedy worsened the period")
+	}
+	if err := res.Mapping.Validate(1, 4); err != nil {
+		t.Fatalf("greedy produced invalid mapping: %v", err)
+	}
+	// Infeasible start.
+	if _, err := GreedyRR(p, pl, m, 0.1, 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestTriPareto(t *testing.T) {
+	p := pipeline.MustNew([]float64{10, 10}, []float64{1, 1, 1})
+	pl, _ := platform.NewCommHomogeneous([]float64{2, 4, 8}, []float64{0.1, 0.3, 0.5}, 2)
+	front, err := TriPareto(p, pl, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Len() < 3 {
+		t.Fatalf("front has %d points, want several", front.Len())
+	}
+	es := front.Entries()
+	for i := range es {
+		for j := range es {
+			if i != j && es[i].Metrics.Dominates(es[j].Metrics) {
+				t.Fatalf("front entry %d dominates %d", i, j)
+			}
+		}
+	}
+	// Every archived mapping must evaluate to its recorded metrics.
+	for _, e := range es {
+		met, err := e.Mapping.Evaluate(p, pl)
+		if err != nil {
+			t.Fatalf("invalid archived mapping: %v", err)
+		}
+		if math.Abs(met.Period-e.Metrics.Period) > 1e-9 {
+			t.Fatal("metrics drifted")
+		}
+	}
+}
+
+func TestTriMetricsDominates(t *testing.T) {
+	a := Metrics{Latency: 1, FailureProb: 0.1, Period: 1}
+	b := Metrics{Latency: 2, FailureProb: 0.2, Period: 2}
+	if !a.Dominates(b) || b.Dominates(a) || a.Dominates(a) {
+		t.Error("three-way dominance broken")
+	}
+	c := Metrics{Latency: 0.5, FailureProb: 0.5, Period: 1}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Error("incomparable points misjudged")
+	}
+}

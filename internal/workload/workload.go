@@ -1,0 +1,163 @@
+// Package workload provides the concrete problem instances used across
+// the test suite, the examples, and the benchmark harness:
+//
+//   - the two worked examples of the paper's Section 3 (Figures 3–4 and
+//     Figure 5), reproduced parameter-for-parameter;
+//   - the JPEG encoder pipeline of the companion report [3] (Benoit,
+//     Kosch, Rehn-Sonigo, Robert, "Bi-criteria Pipeline Mappings for
+//     Parallel Image Processing"), rebuilt from the published stage
+//     structure with volumes derived from the image dimensions;
+//   - seeded synthetic generators for platform-class sweeps.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// Fig34 returns the paper's Figure 3 pipeline and Figure 4 platform: two
+// stages (w = 2, δ = 100 everywhere) on two unit-speed processors where
+// the chain P_in→P1→P2→P_out runs at bandwidth 100 and the two shortcut
+// links at bandwidth 1. The latency-optimal mapping splits the stages
+// (latency 7 versus 105 for any single processor).
+func Fig34() (*pipeline.Pipeline, *platform.Platform) {
+	p := pipeline.MustNew([]float64{2, 2}, []float64{100, 100, 100})
+	pl, err := platform.NewFullyHeterogeneous(
+		[]float64{1, 1},
+		[]float64{0.1, 0.1}, // failure probabilities are not used by the example
+		[][]float64{{0, 100}, {100, 0}},
+		[]float64{100, 1},
+		[]float64{1, 100},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return p, pl
+}
+
+// Fig5 returns the paper's Figure 5 instance: a two-stage pipeline
+// (w = {1, 100}, δ = {10, 1, 0}) on one slow reliable processor (s = 1,
+// fp = 0.1) plus ten fast unreliable ones (s = 100, fp = 0.8), all links
+// of bandwidth 1. Under the latency threshold 22 the best single interval
+// reaches FP = 0.64 while the two-interval mapping — slow stage on the
+// reliable processor, fast stage replicated tenfold — reaches latency
+// exactly 22 with FP = 1 − 0.9·(1 − 0.8¹⁰) ≈ 0.197.
+func Fig5() (*pipeline.Pipeline, *platform.Platform) {
+	p := pipeline.MustNew([]float64{1, 100}, []float64{10, 1, 0})
+	speeds := []float64{1}
+	fps := []float64{0.1}
+	for i := 0; i < 10; i++ {
+		speeds = append(speeds, 100)
+		fps = append(fps, 0.8)
+	}
+	pl, err := platform.NewCommHomogeneous(speeds, fps, 1)
+	if err != nil {
+		panic(err)
+	}
+	return p, pl
+}
+
+// Fig5LatencyThreshold is the latency bound used throughout the Figure 5
+// example.
+const Fig5LatencyThreshold = 22.0
+
+// JPEG builds the 7-stage JPEG encoder pipeline of the companion report
+// [3] for an image of width×height pixels. Stage structure and volume
+// ratios follow the standard encoder:
+//
+//	S1 RGB→YCbCr color conversion   w = 12·N     in 3·N   out 3·N
+//	S2 4:2:0 chroma subsampling     w = 3·N      in 3·N   out 1.5·N
+//	S3 8×8 block splitting          w = 1.5·N    in 1.5·N out 1.5·N
+//	S4 forward DCT                  w = 12·N     in 1.5·N out 3·N
+//	S5 quantization                 w = 3·N      in 3·N   out 1.5·N
+//	S6 zigzag scan + RLE            w = 3·N      in 1.5·N out 0.6·N
+//	S7 Huffman entropy coding       w = 5·N      in 0.6·N out 0.15·N
+//
+// with N = width·height. The absolute constants are calibrated to the
+// operation counts of the textbook algorithms (3×3 matrix product per
+// pixel for S1, ~12 multiply-adds per pixel for a fast 2-D DCT, …); the
+// paper's analysis only depends on the ratios.
+func JPEG(width, height int) *pipeline.Pipeline {
+	n := float64(width * height)
+	w := []float64{12 * n, 3 * n, 1.5 * n, 12 * n, 3 * n, 3 * n, 5 * n}
+	delta := []float64{3 * n, 3 * n, 1.5 * n, 1.5 * n, 3 * n, 1.5 * n, 0.6 * n, 0.15 * n}
+	return pipeline.MustNew(w, delta)
+}
+
+// Class mirrors platform.Class for generator selection.
+type Class = platform.Class
+
+// Instance bundles a generated problem.
+type Instance struct {
+	Name     string
+	Pipeline *pipeline.Pipeline
+	Platform *platform.Platform
+}
+
+// Random draws a synthetic instance of the given platform class with n
+// stages and m processors. Stage computations are uniform in [10, 100],
+// communications in [1, 20], speeds in [1, 10], failure probabilities in
+// [0.01, 0.3] (heterogeneous classes) and bandwidths in [1, 10].
+func Random(rng *rand.Rand, class platform.Class, n, m int) Instance {
+	p := pipeline.Random(rng, n, 10, 100, 1, 20)
+	var pl *platform.Platform
+	switch class {
+	case platform.FullyHomogeneous:
+		var err error
+		pl, err = platform.NewFullyHomogeneous(m, 1+rng.Float64()*9, 1+rng.Float64()*9, 0.01+rng.Float64()*0.29)
+		if err != nil {
+			panic(err)
+		}
+	case platform.CommHomogeneous:
+		pl = platform.RandomCommHomogeneous(rng, m, 1, 10, 0.01, 0.3, 1+rng.Float64()*9)
+	default:
+		pl = platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0.01, 0.3, 1, 10)
+	}
+	return Instance{Name: class.String(), Pipeline: p, Platform: pl}
+}
+
+// RandomFailureHomogeneous draws a Communication Homogeneous platform
+// whose processors share one failure probability — the Theorem 6 class.
+func RandomFailureHomogeneous(rng *rand.Rand, n, m int) Instance {
+	p := pipeline.Random(rng, n, 10, 100, 1, 20)
+	speeds := make([]float64, m)
+	fps := make([]float64, m)
+	fp := 0.01 + rng.Float64()*0.29
+	for i := range speeds {
+		speeds[i] = 1 + rng.Float64()*9
+		fps[i] = fp
+	}
+	pl, err := platform.NewCommHomogeneous(speeds, fps, 1+rng.Float64()*9)
+	if err != nil {
+		panic(err)
+	}
+	return Instance{Name: "CommHom+FailureHom", Pipeline: p, Platform: pl}
+}
+
+// HeterogeneousCluster builds a deterministic "grid site" platform: mixes
+// of fast-unreliable and slow-reliable processor groups, the regime the
+// paper's Figure 5 example distills. groups[i] = {count, speed, fp}.
+type Group struct {
+	Count int
+	Speed float64
+	FP    float64
+}
+
+// Cluster assembles a Communication Homogeneous platform from processor
+// groups with a common bandwidth.
+func Cluster(bandwidth float64, groups ...Group) *platform.Platform {
+	var speeds, fps []float64
+	for _, g := range groups {
+		for i := 0; i < g.Count; i++ {
+			speeds = append(speeds, g.Speed)
+			fps = append(fps, g.FP)
+		}
+	}
+	pl, err := platform.NewCommHomogeneous(speeds, fps, bandwidth)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}

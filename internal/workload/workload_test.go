@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+func TestFig34ReproducesPaperNumbers(t *testing.T) {
+	p, pl := Fig34()
+	single, err := mapping.LatencyEq2(p, pl, mapping.NewSingleInterval(2, []int{0}))
+	if err != nil || single != 105 {
+		t.Errorf("single-interval latency = %g (%v), want 105", single, err)
+	}
+	split := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1}},
+	}
+	lat, err := mapping.LatencyEq2(p, pl, split)
+	if err != nil || lat != 7 {
+		t.Errorf("split latency = %g (%v), want 7", lat, err)
+	}
+}
+
+func TestFig5ReproducesPaperNumbers(t *testing.T) {
+	p, pl := Fig5()
+	if pl.NumProcs() != 11 {
+		t.Fatalf("m = %d, want 11", pl.NumProcs())
+	}
+	if pl.Classify() != platform.CommHomogeneous || pl.FailureHomogeneous() {
+		t.Error("Fig5 must be CommHom + FailureHet")
+	}
+	split := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	met, err := mapping.Evaluate(p, pl, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(met.Latency-Fig5LatencyThreshold) > 1e-9 {
+		t.Errorf("latency = %g, want 22", met.Latency)
+	}
+	want := 1 - (1-0.1)*(1-math.Pow(0.8, 10))
+	if math.Abs(met.FailureProb-want) > 1e-12 {
+		t.Errorf("FP = %g, want %g", met.FailureProb, want)
+	}
+}
+
+func TestJPEGShape(t *testing.T) {
+	p := JPEG(640, 480)
+	if p.NumStages() != 7 {
+		t.Fatalf("JPEG pipeline has %d stages, want 7", p.NumStages())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := float64(640 * 480)
+	if p.Delta[0] != 3*n {
+		t.Errorf("input size = %g, want 3N (RGB)", p.Delta[0])
+	}
+	if p.Delta[7] != 0.15*n {
+		t.Errorf("output size = %g, want 0.15N (compressed)", p.Delta[7])
+	}
+	// Volumes scale linearly with pixel count.
+	q := JPEG(1280, 960)
+	for i := range p.W {
+		if math.Abs(q.W[i]/p.W[i]-4) > 1e-9 {
+			t.Errorf("W[%d] does not scale 4× with pixels", i)
+		}
+	}
+	// The DCT and color conversion dominate computation, as in the real
+	// encoder.
+	if p.W[0] != p.W[3] || p.W[0] <= p.W[2] {
+		t.Error("stage cost ordering broken")
+	}
+}
+
+func TestRandomInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		for _, class := range []platform.Class{platform.FullyHomogeneous, platform.CommHomogeneous, platform.FullyHeterogeneous} {
+			inst := Random(rng, class, n, m)
+			if inst.Pipeline.Validate() != nil || inst.Platform.Validate() != nil {
+				return false
+			}
+			got := inst.Platform.Classify()
+			// A random "CommHom" draw can degenerate to FullyHom (equal
+			// speeds) only with probability 0; FullyHet can degenerate
+			// likewise. Exact class match is expected in practice.
+			if m > 1 && got != class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomFailureHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := RandomFailureHomogeneous(rng, 3, 6)
+	if !inst.Platform.FailureHomogeneous() {
+		t.Error("platform not failure homogeneous")
+	}
+	if _, ok := inst.Platform.CommHomogeneous(); !ok {
+		t.Error("platform not communication homogeneous")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	pl := Cluster(2, Group{Count: 2, Speed: 1, FP: 0.05}, Group{Count: 3, Speed: 10, FP: 0.4})
+	if pl.NumProcs() != 5 {
+		t.Fatalf("m = %d, want 5", pl.NumProcs())
+	}
+	if pl.Speed[0] != 1 || pl.Speed[2] != 10 || pl.FailProb[4] != 0.4 {
+		t.Error("group parameters misapplied")
+	}
+	if b, ok := pl.CommHomogeneous(); !ok || b != 2 {
+		t.Error("cluster must be communication homogeneous")
+	}
+}
