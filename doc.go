@@ -33,6 +33,27 @@
 // platform class and labels the answer ProvablyOptimal, ExhaustivelyOptimal
 // or Heuristic, mirroring the paper's complexity landscape.
 //
+// # Performance
+//
+// The exact solvers run on a zero-allocation evaluation engine
+// (mapping.Evaluator): per (pipeline, platform) pair it precomputes the
+// Eq. (1)/Eq. (2) dispatch, work prefix sums and suffix latency lower
+// bounds once, and then scores candidate mappings represented as interval
+// end boundaries plus per-interval uint64 processor bitmasks without
+// touching the heap and without re-validating (enumerated candidates are
+// valid by construction; the public Evaluate path keeps validation). The
+// enumeration in internal/exact threads those bitmasks through the
+// recursion, prunes subtrees whose latency lower bound or monotone
+// failure-probability prefix is provably worse than the incumbent (or a
+// constraint), and fans out over worker goroutines by first-interval
+// subtree — all four exact solvers and the tri-criteria throughput
+// enumeration accept a worker count (SolveOptions.Workers, 0 =
+// GOMAXPROCS) and return identical results for every worker count. The
+// discrete-event simulator pools its per-run state and keeps its event
+// heap free of pointers, so Monte-Carlo sweeps are not GC-bound. Run
+// scripts/bench.sh to record the benchmark suite as a BENCH_<date>.json
+// snapshot.
+//
 // Quick start:
 //
 //	p, _ := repro.NewPipeline([]float64{1, 100}, []float64{10, 1, 0})

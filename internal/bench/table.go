@@ -11,6 +11,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -73,8 +74,18 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// f formats a float compactly.
-func f(x float64) string { return fmt.Sprintf("%.6g", x) }
+// f formats a float compactly (like %.6g, without the fmt reflection
+// overhead — table rendering shows up in the experiment benchmarks).
+// Integral values below 10^6 print identically under %.6g and base-10
+// integer formatting, so they take the cheap path.
+func f(x float64) string {
+	if x > -1e6 && x < 1e6 {
+		if i := int64(x); float64(i) == x {
+			return strconv.FormatInt(i, 10)
+		}
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
 
 // All runs every experiment and returns the tables in order.
 func All() []*Table {

@@ -114,6 +114,10 @@ type Options struct {
 	// ExactBudget is the largest interval-mapping count for which the
 	// exact enumerator is used on the hard classes (default 200000).
 	ExactBudget float64
+	// Workers is the goroutine count for the exact enumeration fan-out
+	// (0 = GOMAXPROCS, 1 = sequential). Forwarded to exact.Options.Workers;
+	// results are identical for every worker count.
+	Workers int
 	// Anneal configures the annealing fallback.
 	Anneal heuristics.AnnealConfig
 	// ForceHeuristic skips exact enumeration even on small instances.
@@ -312,7 +316,7 @@ func solveBitmaskDP(pr Problem) (Result, error) {
 }
 
 func solveExact(pr Problem, opts Options) (Result, error) {
-	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2}
+	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers}
 	var res exact.Result
 	var err error
 	var method string
@@ -423,7 +427,7 @@ func Pareto(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (*frontie
 	}
 	n, m := p.NumStages(), pl.NumProcs()
 	if !opts.ForceHeuristic && EstimateMappingCount(n, m) <= opts.exactBudget() {
-		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2})
+		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers})
 		if err == nil {
 			front := &frontier.Front{}
 			for _, r := range results {

@@ -1,0 +1,416 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mapping"
+)
+
+// This file is the shared enumeration engine behind the four exact
+// solvers and the throughput package's tri-criteria enumeration. It
+// replaces the per-node [][]int materialization of the original
+// enumerators with interval end boundaries + uint64 replica bitmasks,
+// evaluates candidates incrementally through mapping.Evaluator with zero
+// heap allocations, supports branch-and-bound pruning (prefix latency
+// lower bound / monotone failure-probability prefix against an incumbent
+// or a threshold), and fans the search out over worker goroutines by the
+// choice of the first interval — its last stage and its replica set —
+// exactly the decomposition ParetoFrontParallel pioneered.
+//
+// Determinism: every complete mapping is reported together with the index
+// of the first-interval subtree (task) it belongs to, tasks are
+// enumerated in a fixed order, and each subtree is explored sequentially
+// by exactly one worker. Incumbent pruning is strict (subtrees are cut
+// only when provably worse than the incumbent, never on ties), so
+// merging per-worker results in task order yields the same answer for
+// every worker count.
+
+// pruneFunc decides whether to cut the subtree below a partial mapping.
+// lbLat is a lower bound on the latency of every completion; prefixFP is
+// the failure probability of the already-assigned intervals (a lower
+// bound as well: FP is non-decreasing in added intervals).
+type pruneFunc func(lbLat, prefixFP float64) bool
+
+// visitFunc receives each complete enumerated mapping: the subtree index
+// it was found in, its boundary representation (reused between calls —
+// copy to retain), and its metrics (zero when the engine runs without an
+// Evaluator). Returning false stops the whole enumeration early.
+type visitFunc func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool
+
+// engine carries the state shared by all workers of one enumeration.
+type engine struct {
+	ev          *mapping.Evaluator // nil: enumerate only, no metrics/pruning
+	n, m        int
+	full        uint64
+	replication bool
+	commHom     bool
+
+	budget     int64
+	counter    atomic.Int64 // complete mappings evaluated
+	abort      atomic.Bool
+	overBudget atomic.Bool
+
+	nextTask   atomic.Int64
+	totalTasks int64
+	subsPerEnd int64
+}
+
+func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("exact: need n>0 and m>0, got n=%d m=%d", n, m)
+	}
+	if m > mapping.MaxEvalProcs {
+		return nil, fmt.Errorf("exact: bitmask enumeration supports m ≤ %d, got %d", mapping.MaxEvalProcs, m)
+	}
+	g := &engine{
+		ev:          ev,
+		n:           n,
+		m:           m,
+		replication: opts.Replication,
+		budget:      opts.maxEnum(),
+	}
+	if ev != nil {
+		g.commHom = ev.CommHom()
+	}
+	if m == 64 {
+		g.full = ^uint64(0)
+	} else {
+		g.full = 1<<uint(m) - 1
+	}
+	if opts.Replication {
+		if m > maxReplicationProcs {
+			return nil, fmt.Errorf("exact: replication enumeration supports m ≤ %d, got %d", maxReplicationProcs, m)
+		}
+		g.subsPerEnd = int64(1)<<uint(m) - 1
+	} else {
+		g.subsPerEnd = int64(m)
+	}
+	if int64(n) > math.MaxInt64/g.subsPerEnd {
+		return nil, fmt.Errorf("exact: instance too large to enumerate (n=%d, m=%d)", n, m)
+	}
+	g.totalTasks = int64(n) * g.subsPerEnd
+	return g, nil
+}
+
+// run drains the task space with the given worker count. newWorker is
+// invoked once per worker (with indices 0..workers-1) and returns that
+// worker's prune and visit hooks; prune may be nil.
+func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) error {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if int64(workers) > g.totalTasks {
+		workers = int(g.totalTasks)
+	}
+	if workers <= 1 {
+		prune, visit := newWorker(0)
+		g.worker(prune, visit)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			prune, visit := newWorker(w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.worker(prune, visit)
+			}()
+		}
+		wg.Wait()
+	}
+	if g.overBudget.Load() {
+		return ErrBudget
+	}
+	return nil
+}
+
+// worker claims first-interval subtrees until the space or the budget is
+// exhausted.
+func (g *engine) worker(prune pruneFunc, visit visitFunc) {
+	s := &search{
+		eng:   g,
+		prune: prune,
+		visit: visit,
+		ends:  make([]int, g.n),
+		masks: make([]uint64, g.n),
+		lat:   make([]float64, g.n+1),
+		succ:  make([]float64, g.n+1),
+	}
+	s.succ[0] = 1
+	for !g.abort.Load() {
+		t := g.nextTask.Add(1) - 1
+		if t >= g.totalTasks {
+			return
+		}
+		end := int(t / g.subsPerEnd)
+		var sub uint64
+		if g.replication {
+			sub = uint64(t%g.subsPerEnd) + 1
+		} else {
+			sub = 1 << uint(t%g.subsPerEnd)
+		}
+		if end < g.n-1 && sub == g.full {
+			continue // no processor left for the remaining stages
+		}
+		s.task = t
+		if !s.push(0, 0, end, sub) {
+			continue // pruned at the root
+		}
+		if !s.rec(end+1, sub, 1) {
+			return
+		}
+	}
+}
+
+// search is one worker's private state. All slices are indexed by depth
+// (the number of intervals already chosen) so descending and backtracking
+// never allocate and never need undo writes.
+type search struct {
+	eng   *engine
+	prune pruneFunc
+	visit visitFunc
+	task  int64
+
+	ends  []int
+	masks []uint64
+	// lat[d] is the charged latency after d intervals: on comm-hom
+	// platforms the full Eq. (1) terms of intervals 0..d-1; on fully
+	// heterogeneous platforms the Eq. (2) input sum plus the full terms of
+	// intervals 0..d-2 (interval d-1's term needs its successor set and is
+	// charged when that successor is chosen).
+	lat []float64
+	// succ[d] is the success-probability product over intervals 0..d-1.
+	succ []float64
+}
+
+// push records interval d = [first, end] on replica set sub, extends the
+// incremental accumulators, and applies pruning. It reports whether the
+// subtree should be explored. The accumulation mirrors the slice-based
+// evaluators addition for addition so complete-node metrics are bitwise
+// identical to mapping.Evaluate.
+func (s *search) push(d, first, end int, sub uint64) bool {
+	ev := s.eng.ev
+	s.ends[d] = end
+	s.masks[d] = sub
+	if ev == nil {
+		return true
+	}
+	s.succ[d+1] = s.succ[d] * ev.SuccessFactor(sub)
+	var newLat, lb float64
+	if s.eng.commHom {
+		commIn, compute := ev.IntervalEq1Cost(first, end, sub)
+		newLat = s.lat[d] + commIn
+		newLat += compute
+		lb = newLat + ev.TailLatencyLB(end+1)
+	} else {
+		if d == 0 {
+			newLat = ev.InputSum(sub)
+		} else {
+			prevFirst := 0
+			if d > 1 {
+				prevFirst = s.ends[d-2] + 1
+			}
+			newLat = s.lat[d] + ev.IntervalEq2Term(prevFirst, s.ends[d-1], s.masks[d-1], sub)
+		}
+		lb = newLat + ev.IntervalComputeLB(first, end, sub) + ev.TailLatencyLB(end+1)
+	}
+	s.lat[d+1] = newLat
+	if s.prune != nil && s.prune(lb, 1-s.succ[d+1]) {
+		return false
+	}
+	return true
+}
+
+// rec extends the partial mapping (stages [0, start) assigned on the
+// processors in used, depth intervals chosen) with every completion.
+// It returns false when the whole enumeration must stop.
+func (s *search) rec(start int, used uint64, depth int) bool {
+	g := s.eng
+	if g.abort.Load() {
+		return false
+	}
+	if start == g.n {
+		return s.complete(depth)
+	}
+	free := g.full &^ used
+	if free == 0 {
+		return true
+	}
+	last := g.n - 1
+	for end := start; end <= last; end++ {
+		if g.replication {
+			for sub := free; sub != 0; sub = (sub - 1) & free {
+				if end < last && sub == free {
+					continue
+				}
+				if !s.push(depth, start, end, sub) {
+					continue
+				}
+				if !s.rec(end+1, used|sub, depth+1) {
+					return false
+				}
+			}
+		} else {
+			for bm := free; bm != 0; bm &= bm - 1 {
+				sub := bm & -bm
+				if end < last && sub == free {
+					continue
+				}
+				if !s.push(depth, start, end, sub) {
+					continue
+				}
+				if !s.rec(end+1, used|sub, depth+1) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// complete finalizes the candidate's metrics and hands it to the visitor,
+// charging the enumeration budget.
+func (s *search) complete(depth int) bool {
+	g := s.eng
+	if g.counter.Add(1) > g.budget {
+		g.overBudget.Store(true)
+		g.abort.Store(true)
+		return false
+	}
+	var met mapping.Metrics
+	if ev := g.ev; ev != nil {
+		if g.commHom {
+			met.Latency = s.lat[depth] + ev.TailLatencyLB(g.n) // exact δ_n/b
+		} else {
+			first := 0
+			if depth > 1 {
+				first = s.ends[depth-2] + 1
+			}
+			met.Latency = s.lat[depth] + ev.IntervalEq2FinalTerm(first, s.ends[depth-1], s.masks[depth-1])
+		}
+		met.FailureProb = 1 - s.succ[depth]
+	}
+	if !s.visit(s.task, s.ends[:depth], s.masks[:depth], met) {
+		g.abort.Store(true)
+		return false
+	}
+	return true
+}
+
+// atomicMin is a lock-free monotone float64 minimum used as the shared
+// pruning bound.
+type atomicMin struct{ bits atomic.Uint64 }
+
+func newAtomicMin() *atomicMin {
+	a := &atomicMin{}
+	a.bits.Store(math.Float64bits(math.Inf(1)))
+	return a
+}
+
+func (a *atomicMin) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicMin) min(x float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) <= x {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// incumbent tracks the best candidate across workers with a deterministic
+// total order: the solver's metric comparator first, then the task index
+// of discovery (so the result is independent of worker count and
+// scheduling). The objective value is mirrored into an atomicMin for
+// cheap lock-free pruning reads.
+type incumbent struct {
+	mu    sync.Mutex
+	found bool
+	met   mapping.Metrics
+	task  int64
+	ends  []int
+	masks []uint64
+	nEnds int
+	bound *atomicMin
+	cmp   func(a, b mapping.Metrics) int // <0: a strictly better
+	objOf func(met mapping.Metrics) float64
+}
+
+func newIncumbent(n int, cmp func(a, b mapping.Metrics) int, objOf func(mapping.Metrics) float64) *incumbent {
+	return &incumbent{
+		ends:  make([]int, n),
+		masks: make([]uint64, n),
+		bound: newAtomicMin(),
+		cmp:   cmp,
+		objOf: objOf,
+	}
+}
+
+// offer proposes a feasible candidate. The fast path rejects without the
+// lock when the objective is strictly above the current bound.
+func (inc *incumbent) offer(task int64, ends []int, masks []uint64, met mapping.Metrics) {
+	if inc.objOf(met) > inc.bound.load() {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.found {
+		c := inc.cmp(met, inc.met)
+		if c > 0 || (c == 0 && task >= inc.task) {
+			return
+		}
+	}
+	inc.found = true
+	inc.met = met
+	inc.task = task
+	inc.nEnds = copy(inc.ends, ends)
+	copy(inc.masks, masks)
+	inc.bound.min(inc.objOf(met))
+}
+
+// result materializes the winning candidate.
+func (inc *incumbent) result(ev *mapping.Evaluator) (Result, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if !inc.found {
+		return Result{}, ErrInfeasible
+	}
+	return Result{
+		Mapping: ev.ToMapping(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds]),
+		Metrics: inc.met,
+	}, nil
+}
+
+// latencyStrictlyWorse reports lb > bound beyond the shared latency
+// tolerance, i.e. the subtree is provably worse and safe to cut even in
+// the presence of float accumulation ties.
+func latencyStrictlyWorse(lb, bound float64) bool {
+	return lb > bound+latencyTol*math.Max(1, math.Abs(bound))
+}
+
+// fillMaskedMapping converts a boundary representation into dst without
+// allocating: dst's slices are resliced and the replica ids written into
+// procBuf (which must hold at least m ints).
+func fillMaskedMapping(dst *mapping.Mapping, procBuf []int, ends []int, masks []uint64) *mapping.Mapping {
+	dst.Intervals = dst.Intervals[:0]
+	dst.Alloc = dst.Alloc[:0]
+	first := 0
+	used := 0
+	for j, end := range ends {
+		dst.Intervals = append(dst.Intervals, mapping.Interval{First: first, Last: end})
+		startBuf := used
+		for bm := masks[j]; bm != 0; bm &= bm - 1 {
+			procBuf[used] = bits.TrailingZeros64(bm)
+			used++
+		}
+		dst.Alloc = append(dst.Alloc, procBuf[startBuf:used:used])
+		first = end + 1
+	}
+	return dst
+}

@@ -5,13 +5,25 @@
 // other. The polynomial algorithms of package poly and the heuristics of
 // package heuristics are validated against these oracles, and the
 // NP-hardness reductions of package npc use them as decision procedures.
+//
+// All four interval-mapping solvers (MinLatencyInterval, MinFPUnderLatency,
+// MinLatencyUnderFP, ParetoFront) run on the shared bitmask enumeration
+// engine of engine.go: candidates are interval boundaries plus uint64
+// replica masks evaluated through mapping.Evaluator with zero heap
+// allocations, subtrees provably worse than the incumbent (or outside the
+// constraint) are pruned, and the search fans out over Options.Workers
+// goroutines by first-interval subtree. Results are deterministic and
+// independent of the worker count.
 package exact
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 
+	"repro/internal/frontier"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
@@ -33,7 +45,14 @@ type Options struct {
 	// can only increase latency).
 	Replication bool
 	// MaxEnum caps the number of evaluated mappings (default 5,000,000).
+	// Branch-and-bound pruned subtrees are not charged, so the same budget
+	// now covers far larger instances than full enumeration did.
 	MaxEnum int64
+	// Workers is the number of enumeration goroutines used by the four
+	// interval-mapping solvers and ForEachMappingParallel: 0 means
+	// GOMAXPROCS, 1 forces a sequential search. Results are identical for
+	// every worker count.
+	Workers int
 }
 
 func (o Options) maxEnum() int64 {
@@ -42,6 +61,16 @@ func (o Options) maxEnum() int64 {
 	}
 	return 5_000_000
 }
+
+// WorkerCount resolves Workers to the effective goroutine count.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return defaultWorkers()
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // latencyTol mirrors package poly: thresholds sitting exactly on an
 // achievable latency stay feasible despite float accumulation.
@@ -56,6 +85,10 @@ func leqTol(x, bound float64) bool {
 // visit is reused between calls — clone it to retain it. Enumeration stops
 // early when visit returns false. The error is ErrBudget if the cap was
 // hit.
+//
+// This is the original slice-based enumerator. It is kept as the
+// reference implementation the bitmask engine is property-tested against,
+// and as the fallback for platforms wider than mapping.MaxEvalProcs.
 func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) error {
 	budget := opts.maxEnum()
 	count := int64(0)
@@ -156,10 +189,236 @@ type Result struct {
 	Metrics mapping.Metrics
 }
 
+// metric comparators for the incumbent trackers. Each returns <0 when a
+// is strictly preferable, 0 on an exact tie (resolved by task order).
+func cmpLatency(a, b mapping.Metrics) int {
+	switch {
+	case a.Latency < b.Latency:
+		return -1
+	case a.Latency > b.Latency:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFPThenLatency(a, b mapping.Metrics) int {
+	switch {
+	case a.FailureProb < b.FailureProb:
+		return -1
+	case a.FailureProb > b.FailureProb:
+		return 1
+	default:
+		return cmpLatency(a, b)
+	}
+}
+
+func cmpLatencyThenFP(a, b mapping.Metrics) int {
+	if c := cmpLatency(a, b); c != 0 {
+		return c
+	}
+	switch {
+	case a.FailureProb < b.FailureProb:
+		return -1
+	case a.FailureProb > b.FailureProb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func objLatency(m mapping.Metrics) float64 { return m.Latency }
+func objFP(m mapping.Metrics) float64      { return m.FailureProb }
+
+// maxReplicationProcs bounds m for the bitmask engine's replication
+// enumeration (task indices pack end·(2^m−1)+subset into an int64).
+const maxReplicationProcs = 62
+
+// useWideFallback reports whether the instance exceeds the bitmask
+// engine's limits and must take the original slice-based path.
+func useWideFallback(m int, replication bool) bool {
+	return m > mapping.MaxEvalProcs || (replication && m > maxReplicationProcs)
+}
+
 // MinLatencyInterval finds the latency-optimal interval mapping by
-// exhaustive enumeration. Replication is skipped by default (it can only
-// increase latency) unless opts.Replication is set.
+// pruned exhaustive enumeration. Replication is skipped by default (it can
+// only increase latency) unless opts.Replication is set.
 func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (Result, error) {
+	if useWideFallback(pl.NumProcs(), opts.Replication) {
+		return minLatencyIntervalWide(p, pl, opts)
+	}
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := newEngine(ev, p.NumStages(), pl.NumProcs(), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	inc := newIncumbent(p.NumStages(), cmpLatency, objLatency)
+	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+		prune := func(lb, _ float64) bool {
+			return latencyStrictlyWorse(lb, inc.bound.load())
+		}
+		visit := func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool {
+			inc.offer(task, ends, masks, met)
+			return true
+		}
+		return prune, visit
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return inc.result(ev)
+}
+
+// MinFPUnderLatency finds the interval mapping of minimum failure
+// probability among those with latency ≤ maxLatency, by pruned exhaustive
+// enumeration (replication enabled regardless of opts.Replication, since
+// replication is the whole point of reliability). Subtrees whose latency
+// lower bound already violates the threshold, or whose prefix failure
+// probability already exceeds the incumbent, are cut.
+func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
+	opts.Replication = true
+	if useWideFallback(pl.NumProcs(), true) {
+		return minFPUnderLatencyWide(p, pl, maxLatency, opts)
+	}
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := newEngine(ev, p.NumStages(), pl.NumProcs(), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	inc := newIncumbent(p.NumStages(), cmpFPThenLatency, objFP)
+	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+		prune := func(lb, prefixFP float64) bool {
+			return latencyStrictlyWorse(lb, maxLatency) || prefixFP > inc.bound.load()
+		}
+		visit := func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool {
+			if leqTol(met.Latency, maxLatency) {
+				inc.offer(task, ends, masks, met)
+			}
+			return true
+		}
+		return prune, visit
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return inc.result(ev)
+}
+
+// MinLatencyUnderFP finds the interval mapping of minimum latency among
+// those with failure probability ≤ maxFailureProb, by pruned exhaustive
+// enumeration with replication.
+func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
+	opts.Replication = true
+	if useWideFallback(pl.NumProcs(), true) {
+		return minLatencyUnderFPWide(p, pl, maxFailureProb, opts)
+	}
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := newEngine(ev, p.NumStages(), pl.NumProcs(), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	inc := newIncumbent(p.NumStages(), cmpLatencyThenFP, objLatency)
+	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+		prune := func(lb, prefixFP float64) bool {
+			return prefixFP > maxFailureProb+1e-12 || latencyStrictlyWorse(lb, inc.bound.load())
+		}
+		visit := func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool {
+			if met.FailureProb <= maxFailureProb+1e-12 {
+				inc.offer(task, ends, masks, met)
+			}
+			return true
+		}
+		return prune, visit
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return inc.result(ev)
+}
+
+// ParetoFront enumerates all interval mappings (with replication) and
+// returns the non-dominated (latency, FP) set, sorted by increasing
+// latency. Mappings with identical metrics are collapsed to one
+// representative. Each worker maintains a binary-searched frontier.Front
+// and prunes subtrees whose (latency lower bound, prefix FP) is already
+// covered; the per-worker fronts are merged at the end, so the metric set
+// is exact and deterministic for every worker count.
+func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
+	opts.Replication = true
+	if useWideFallback(pl.NumProcs(), true) {
+		return paretoFrontWide(p, pl, opts)
+	}
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		return nil, err
+	}
+	n, m := p.NumStages(), pl.NumProcs()
+	g, err := newEngine(ev, n, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.WorkerCount()
+	fronts := make([]*frontier.Front, workers)
+	err = g.run(workers, func(w int) (pruneFunc, visitFunc) {
+		f := &frontier.Front{}
+		fronts[w] = f
+		scratch := &mapping.Mapping{
+			Intervals: make([]mapping.Interval, 0, n),
+			Alloc:     make([][]int, 0, n),
+		}
+		procBuf := make([]int, m)
+		prune := func(lb, prefixFP float64) bool {
+			// Cut only when an entry is strictly better in latency than the
+			// whole subtree can be (tolerance guards rounding of the bound)
+			// and no worse in FP.
+			return f.DominatesPoint(lb-latencyTol*math.Max(1, math.Abs(lb)), prefixFP)
+		}
+		visit := func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool {
+			// InsertTagged rejects dominated candidates without cloning and
+			// resolves duplicate metric points to the lowest task, keeping
+			// the representative mappings scheduling-independent.
+			f.InsertTagged(met, fillMaskedMapping(scratch, procBuf, ends, masks), task)
+			return true
+		}
+		return prune, visit
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &frontier.Front{}
+	for _, f := range fronts {
+		if f == nil {
+			continue
+		}
+		// Worker fronts already own private clones; transfer ownership
+		// instead of re-cloning every survivor.
+		for _, e := range f.Entries() {
+			merged.InsertOwned(e.Metrics, e.Mapping, e.Task)
+		}
+	}
+	results := make([]Result, 0, merged.Len())
+	for _, e := range merged.Entries() {
+		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
+	}
+	return results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Wide-platform fallbacks (m beyond the bitmask engine's limits — see
+// useWideFallback): the original unpruned slice-based search. Practically
+// only reachable for degenerate shapes (tiny n) before the budget trips,
+// but keeps the public API total.
+
+func minLatencyIntervalWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (Result, error) {
 	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
 	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
 		met, err := mapping.Evaluate(p, pl, mp)
@@ -180,12 +439,7 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 	return best, nil
 }
 
-// MinFPUnderLatency finds the interval mapping of minimum failure
-// probability among those with latency ≤ maxLatency, by exhaustive
-// enumeration (replication enabled regardless of opts.Replication, since
-// replication is the whole point of reliability).
-func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
-	opts.Replication = true
+func minFPUnderLatencyWide(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
 	best := Result{Metrics: mapping.Metrics{FailureProb: math.Inf(1)}}
 	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
 		met, err := mapping.Evaluate(p, pl, mp)
@@ -210,11 +464,7 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 	return best, nil
 }
 
-// MinLatencyUnderFP finds the interval mapping of minimum latency among
-// those with failure probability ≤ maxFailureProb, by exhaustive
-// enumeration with replication.
-func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
-	opts.Replication = true
+func minLatencyUnderFPWide(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
 	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
 	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
 		met, err := mapping.Evaluate(p, pl, mp)
@@ -239,43 +489,28 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 	return best, nil
 }
 
-// ParetoFront enumerates all interval mappings (with replication) and
-// returns the non-dominated (latency, FP) set, sorted by increasing
-// latency. Mappings with identical metrics are collapsed to one
-// representative.
-func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
-	opts.Replication = true
-	var front []Result
+func paretoFrontWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
+	front := &frontier.Front{}
 	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
 		met, err := mapping.Evaluate(p, pl, mp)
 		if err != nil {
 			return true
 		}
-		for _, r := range front {
-			if r.Metrics.Dominates(met) || r.Metrics == met {
-				return true // dominated or duplicate: skip
-			}
-		}
-		keep := front[:0]
-		for _, r := range front {
-			if !met.Dominates(r.Metrics) {
-				keep = append(keep, r)
-			}
-		}
-		front = append(keep, Result{Mapping: mp.Clone(), Metrics: met})
+		front.Insert(met, mp)
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	sortResultsByLatency(front)
-	return front, nil
+	results := make([]Result, 0, front.Len())
+	for _, e := range front.Entries() {
+		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
+	}
+	return results, nil
 }
 
 func sortResultsByLatency(rs []Result) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].Metrics.Latency < rs[j-1].Metrics.Latency; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
+	sort.Slice(rs, func(i, j int) bool {
+		return rs[i].Metrics.Latency < rs[j].Metrics.Latency
+	})
 }

@@ -1,118 +1,56 @@
 package exact
 
 import (
-	"fmt"
-	"math/bits"
-	"runtime"
-	"sync"
-
-	"repro/internal/frontier"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 )
 
 // ParetoFrontParallel computes the same exact Pareto front as ParetoFront
-// but fans the enumeration out over worker goroutines (0 = GOMAXPROCS).
-// The space is split by the choice of the first interval — its last stage
-// and its replica set — which gives Σ_e (2^m − 1) independent subtrees;
-// each worker drains subtrees from a shared queue into a private front,
-// and the fronts are merged at the end. Deterministic: the merged front
-// is a set, independent of scheduling.
+// with an explicit worker count (0 = GOMAXPROCS). It is a thin wrapper
+// kept for API compatibility: ParetoFront itself now runs the parallel
+// first-interval fan-out, so the two are the same code path. Deterministic:
+// the merged front is a set, independent of scheduling.
 func ParetoFrontParallel(p *pipeline.Pipeline, pl *platform.Platform, opts Options, workers int) ([]Result, error) {
-	n, m := p.NumStages(), pl.NumProcs()
-	if n <= 0 || m <= 0 {
-		return nil, fmt.Errorf("exact: need n>0 and m>0, got n=%d m=%d", n, m)
-	}
-	if m > 30 {
-		return nil, fmt.Errorf("exact: parallel enumeration supports m ≤ 30, got %d", m)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type task struct {
-		end    int // last stage of the first interval
-		subset int // replica set of the first interval (bitmask)
-	}
-	tasks := make(chan task, 64)
-	go func() {
-		defer close(tasks)
-		for end := 0; end < n; end++ {
-			if end < n-1 && m < 2 {
-				continue // no processor left for the remaining stages
-			}
-			for sub := 1; sub < 1<<m; sub++ {
-				tasks <- task{end: end, subset: sub}
-			}
-		}
-	}()
-
-	fronts := make([]*frontier.Front, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		fronts[w] = &frontier.Front{}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			intervals := make([]mapping.Interval, 0, n)
-			alloc := make([][]int, 0, n)
-			for t := range tasks {
-				intervals = append(intervals[:0], mapping.Interval{First: 0, Last: t.end})
-				alloc = append(alloc[:0], subsetProcs(t.subset))
-				enumerateRest(p, pl, t.end+1, t.subset, &intervals, &alloc, fronts[w])
-			}
-		}()
-	}
-	wg.Wait()
-
-	merged := fronts[0]
-	for _, f := range fronts[1:] {
-		merged.Merge(f)
-	}
-	var results []Result
-	for _, e := range merged.Entries() {
-		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
-	}
-	return results, nil
+	opts.Workers = workers
+	return ParetoFront(p, pl, opts)
 }
 
-// enumerateRest extends the partial mapping (stages [0, start) assigned,
-// processors `used` taken) with every completion and offers complete
-// mappings to the front.
-func enumerateRest(p *pipeline.Pipeline, pl *platform.Platform, start, used int, intervals *[]mapping.Interval, alloc *[][]int, front *frontier.Front) {
-	n, m := p.NumStages(), pl.NumProcs()
-	if start == n {
-		mp := &mapping.Mapping{Intervals: *intervals, Alloc: *alloc}
-		met, err := mapping.Evaluate(p, pl, mp)
-		if err != nil {
-			return
+// ForEachMappingParallel enumerates every valid interval mapping of n
+// stages on m processors across opts.WorkerCount() goroutines, splitting
+// the space by first-interval subtree. newVisitor is called once per
+// worker (indices 0..WorkerCount()-1, some possibly unused on tiny
+// instances) and returns that worker's visit function; visits within a
+// worker are sequential. task identifies the first-interval subtree a
+// mapping belongs to — tasks are totally ordered, so callers can merge
+// per-worker answers deterministically by (metric, task) regardless of
+// scheduling. The *mapping.Mapping handed to a visitor reuses the
+// worker's buffers — clone it to retain it. A visitor returning false
+// stops the whole enumeration. The error is ErrBudget if opts.MaxEnum was
+// exceeded (the budget is shared across workers).
+func ForEachMappingParallel(n, m int, opts Options, newVisitor func(worker int) func(task int64, mp *mapping.Mapping) bool) error {
+	if m > 0 && useWideFallback(m, opts.Replication) {
+		// Beyond the bitmask engine's limits: run the slice-based
+		// enumerator sequentially through a single visitor (task 0).
+		visit := newVisitor(0)
+		return ForEachMapping(n, m, opts, func(mp *mapping.Mapping) bool {
+			return visit(0, mp)
+		})
+	}
+	g, err := newEngine(nil, n, m, opts)
+	if err != nil {
+		return err
+	}
+	return g.run(opts.WorkerCount(), func(w int) (pruneFunc, visitFunc) {
+		visitMapping := newVisitor(w)
+		scratch := &mapping.Mapping{
+			Intervals: make([]mapping.Interval, 0, n),
+			Alloc:     make([][]int, 0, n),
 		}
-		front.Insert(met, mp)
-		return
-	}
-	free := (1<<m - 1) &^ used
-	if free == 0 {
-		return
-	}
-	for end := start; end < n; end++ {
-		for sub := free; sub > 0; sub = (sub - 1) & free {
-			*intervals = append(*intervals, mapping.Interval{First: start, Last: end})
-			*alloc = append(*alloc, subsetProcs(sub))
-			enumerateRest(p, pl, end+1, used|sub, intervals, alloc, front)
-			*intervals = (*intervals)[:len(*intervals)-1]
-			*alloc = (*alloc)[:len(*alloc)-1]
+		procBuf := make([]int, m)
+		visit := func(task int64, ends []int, masks []uint64, _ mapping.Metrics) bool {
+			return visitMapping(task, fillMaskedMapping(scratch, procBuf, ends, masks))
 		}
-	}
-}
-
-func subsetProcs(mask int) []int {
-	procs := make([]int, 0, bits.OnesCount(uint(mask)))
-	for mask != 0 {
-		low := bits.TrailingZeros(uint(mask))
-		procs = append(procs, low)
-		mask &^= 1 << low
-	}
-	return procs
+		return nil, visit
+	})
 }

@@ -72,13 +72,21 @@ func TestParetoFrontParallelFig5(t *testing.T) {
 }
 
 func TestParetoFrontParallelErrors(t *testing.T) {
-	pl, _ := platform.NewFullyHomogeneous(31, 1, 1, 0.5)
+	// Beyond the bitmask engine's replication limit (m ≤ 62; it previously
+	// stopped at 30) the slice fallback enumerates until the budget trips.
+	pl, _ := platform.NewFullyHomogeneous(63, 1, 1, 0.5)
 	p := pipeline.Uniform(2, 1, 1)
-	if _, err := ParetoFrontParallel(p, pl, Options{}, 2); err == nil {
-		t.Error("m=31 accepted")
+	if _, err := ParetoFrontParallel(p, pl, Options{MaxEnum: 1000}, 2); err == nil {
+		t.Error("m=63 with a tiny budget did not report an error")
 	}
-	if _, err := ParetoFrontParallel(&pipeline.Pipeline{}, pl, Options{}, 2); err == nil {
+	if _, err := ParetoFrontParallel(&pipeline.Pipeline{}, pl, Options{MaxEnum: 1000}, 2); err == nil {
 		t.Error("empty pipeline accepted")
+	}
+	// A big-but-supported m trips the enumeration budget instead of
+	// running forever.
+	pl31, _ := platform.NewFullyHomogeneous(31, 1, 1, 0.5)
+	if _, err := ParetoFrontParallel(p, pl31, Options{MaxEnum: 1000}, 2); err == nil {
+		t.Error("m=31 with a tiny budget did not report ErrBudget")
 	}
 }
 

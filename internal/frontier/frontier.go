@@ -14,10 +14,15 @@ import (
 	"repro/internal/mapping"
 )
 
-// Entry is one non-dominated point and the mapping achieving it.
+// Entry is one non-dominated point and the mapping achieving it. Task is
+// the discovery tag assigned by InsertTagged (0 for plain Insert): the
+// exact parallel enumeration uses it to keep the representative mapping
+// of a metric point deterministic — the candidate from the lowest
+// enumeration subtree wins, independent of worker scheduling.
 type Entry struct {
 	Metrics mapping.Metrics
 	Mapping *mapping.Mapping
+	Task    int64
 }
 
 // Front is a set of mutually non-dominated entries kept sorted by
@@ -39,6 +44,28 @@ func (f *Front) Entries() []Entry { return f.entries }
 // existing points it dominates are removed. The mapping is cloned so the
 // caller may reuse its buffer.
 func (f *Front) Insert(met mapping.Metrics, m *mapping.Mapping) bool {
+	return f.InsertTagged(met, m, 0)
+}
+
+// InsertTagged is Insert with a deterministic tie-break for duplicate
+// metric points: when the offered point equals an existing entry's
+// metrics exactly, the entry's mapping is replaced if task is strictly
+// lower than the entry's tag (the set of points is unchanged, so it
+// still returns false). Merging per-worker fronts through this keeps
+// front representatives independent of worker count and scheduling.
+func (f *Front) InsertTagged(met mapping.Metrics, m *mapping.Mapping, task int64) bool {
+	return f.insert(met, m, task, true)
+}
+
+// InsertOwned is InsertTagged taking ownership of m instead of cloning
+// it. Use it to merge fronts whose entries are already private (e.g.
+// per-worker fronts about to be discarded) without re-copying every
+// surviving mapping.
+func (f *Front) InsertOwned(met mapping.Metrics, m *mapping.Mapping, task int64) bool {
+	return f.insert(met, m, task, false)
+}
+
+func (f *Front) insert(met mapping.Metrics, m *mapping.Mapping, task int64, clone bool) bool {
 	// Position of the first entry with latency >= met.Latency.
 	i := sort.Search(len(f.entries), func(i int) bool {
 		return f.entries[i].Metrics.Latency >= met.Latency
@@ -51,8 +78,16 @@ func (f *Front) Insert(met mapping.Metrics, m *mapping.Mapping) bool {
 		}
 	}
 	if i < len(f.entries) {
-		right := f.entries[i].Metrics
-		if right.Latency == met.Latency && right.FailureProb <= met.FailureProb {
+		right := &f.entries[i]
+		if right.Metrics.Latency == met.Latency && right.Metrics.FailureProb <= met.FailureProb {
+			if right.Metrics == met && task < right.Task {
+				// Same point, earlier discovery: swap the representative.
+				right.Task = task
+				right.Mapping = m
+				if clone && m != nil {
+					right.Mapping = m.Clone()
+				}
+			}
 			return false
 		}
 	}
@@ -61,21 +96,51 @@ func (f *Front) Insert(met mapping.Metrics, m *mapping.Mapping) bool {
 	for j < len(f.entries) && f.entries[j].Metrics.FailureProb >= met.FailureProb {
 		j++
 	}
-	var mp *mapping.Mapping
-	if m != nil {
+	// The entry survives: clone the mapping now (never earlier, so callers
+	// can offer reused buffers cheaply) and splice it in place without a
+	// temporary slice.
+	mp := m
+	if clone && m != nil {
 		mp = m.Clone()
 	}
-	entry := Entry{Metrics: met, Mapping: mp}
-	f.entries = append(f.entries[:i], append([]Entry{entry}, f.entries[j:]...)...)
+	entry := Entry{Metrics: met, Mapping: mp, Task: task}
+	switch {
+	case j == i:
+		// Pure insertion: extend by one and shift the tail right.
+		f.entries = append(f.entries, Entry{})
+		copy(f.entries[i+1:], f.entries[i:])
+		f.entries[i] = entry
+	case j == i+1:
+		// Replace exactly one dominated entry in place.
+		f.entries[i] = entry
+	default:
+		// Replace the run [i, j) by the new entry and shift the tail left.
+		f.entries[i] = entry
+		f.entries = append(f.entries[:i+1], f.entries[j:]...)
+	}
 	return true
 }
 
-// Merge inserts every entry of other into f and reports how many were
-// kept.
+// DominatesPoint reports whether some entry of the front is at least as
+// good as the point (lat, fp) in both objectives. The exact solvers use it
+// to prune enumeration subtrees whose latency lower bound and failure-
+// probability prefix are already covered by the front.
+func (f *Front) DominatesPoint(lat, fp float64) bool {
+	// Entries are sorted by increasing latency with strictly decreasing FP,
+	// so the best candidate is the last entry with Latency ≤ lat.
+	i := sort.Search(len(f.entries), func(i int) bool {
+		return f.entries[i].Metrics.Latency > lat
+	})
+	return i > 0 && f.entries[i-1].Metrics.FailureProb <= fp
+}
+
+// Merge inserts every entry of other into f (preserving discovery tags,
+// so duplicate points resolve to the lowest tag) and reports how many
+// were kept.
 func (f *Front) Merge(other *Front) int {
 	kept := 0
 	for _, e := range other.entries {
-		if f.Insert(e.Metrics, e.Mapping) {
+		if f.InsertTagged(e.Metrics, e.Mapping, e.Task) {
 			kept++
 		}
 	}

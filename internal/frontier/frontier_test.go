@@ -194,3 +194,41 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestInsertEvictsRun exercises the in-place splice: one insertion must be
+// able to evict a whole run of dominated entries.
+func TestInsertEvictsRun(t *testing.T) {
+	var f Front
+	f.Insert(met(1, 0.9), nil)
+	f.Insert(met(2, 0.8), nil)
+	f.Insert(met(3, 0.7), nil)
+	f.Insert(met(4, 0.6), nil)
+	f.Insert(met(5, 0.5), nil)
+	// (1.5, 0.05) dominates everything at latency ≥ 2.
+	if !f.Insert(met(1.5, 0.05), nil) {
+		t.Fatal("dominating point rejected")
+	}
+	es := f.Entries()
+	if len(es) != 2 {
+		t.Fatalf("front has %d entries, want 2: %v", len(es), f.String())
+	}
+	if es[0].Metrics != met(1, 0.9) || es[1].Metrics != met(1.5, 0.05) {
+		t.Errorf("front = %s", f.String())
+	}
+}
+
+// TestInsertRejectDoesNotClone: a dominated offer must not clone the
+// mapping (the exact enumeration offers millions of reused buffers).
+func TestInsertRejectDoesNotClone(t *testing.T) {
+	var f Front
+	m := mapping.NewSingleInterval(2, []int{0})
+	f.Insert(met(1, 0.1), m)
+	allocs := testing.AllocsPerRun(100, func() {
+		if f.Insert(met(2, 0.5), m) {
+			t.Fatal("dominated point accepted")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("rejected Insert allocates %.1f objects, want 0", allocs)
+	}
+}

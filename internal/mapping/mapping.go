@@ -87,6 +87,26 @@ func (m *Mapping) Validate(n, mProcs int) error {
 	if next != n {
 		return fmt.Errorf("mapping: intervals end at stage %d, want %d", next-1, n-1)
 	}
+	if mProcs <= 64 {
+		// Bitmask fast path: keeps the hot public Evaluate path free of the
+		// map allocation.
+		var used uint64
+		for j, procs := range m.Alloc {
+			if len(procs) == 0 {
+				return fmt.Errorf("mapping: interval %d has no processors", j)
+			}
+			for _, u := range procs {
+				if u < 0 || u >= mProcs {
+					return fmt.Errorf("mapping: interval %d uses invalid processor %d (m=%d)", j, u, mProcs)
+				}
+				if used&(1<<uint(u)) != 0 {
+					return fmt.Errorf("mapping: processor %d assigned to more than one interval (or duplicated)", u)
+				}
+				used |= 1 << uint(u)
+			}
+		}
+		return nil
+	}
 	used := make(map[int]bool, mProcs)
 	for j, procs := range m.Alloc {
 		if len(procs) == 0 {

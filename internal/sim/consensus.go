@@ -52,7 +52,11 @@ func runConsensus(nw *network, group []int, alive func(int) bool, start float64,
 			followers = append(followers, u)
 		}
 	}
-	if len(followers) == 0 {
+	if len(followers) == 0 || msgSize <= 0 {
+		// Free control messages (the paper's abstraction, and the default):
+		// the zero-size PROPOSE/ACK exchange is instantaneous and bypasses
+		// the ports, so the decision lands exactly at electionStart — skip
+		// simulating the individual control transfers.
 		nw.eng.At(electionStart, func() {
 			done(consensusResult{Leader: leader, Decided: electionStart, Rounds: leaderRank + 1}, true)
 		})
@@ -60,21 +64,22 @@ func runConsensus(nw *network, group []int, alive func(int) bool, start float64,
 	}
 	// PROPOSE broadcast, serialized on the leader's send port.
 	err := nw.transferChain(leader, followers, msgSize, electionStart, func(_ float64, arrivals []float64) {
-		// Each follower ACKs; decision at the last ACK arrival.
+		// Each follower ACKs; decision at the last ACK arrival. The
+		// callback never reads the follower id, so one shared closure
+		// serves every ACK.
 		remaining := len(followers)
 		last := electionStart
+		onAck := func(arrival float64) {
+			if arrival > last {
+				last = arrival
+			}
+			remaining--
+			if remaining == 0 {
+				done(consensusResult{Leader: leader, Decided: last, Rounds: leaderRank + 1}, true)
+			}
+		}
 		for i, f := range followers {
-			f := f
-			ackErr := nw.transfer(f, leader, msgSize, arrivals[i], func(arrival float64) {
-				if arrival > last {
-					last = arrival
-				}
-				remaining--
-				if remaining == 0 {
-					done(consensusResult{Leader: leader, Decided: last, Rounds: leaderRank + 1}, true)
-				}
-			})
-			if ackErr != nil {
+			if ackErr := nw.transfer(f, leader, msgSize, arrivals[i], onAck); ackErr != nil {
 				panic(ackErr) // group members are valid processors by construction
 			}
 		}

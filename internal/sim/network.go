@@ -14,28 +14,57 @@ const (
 
 // network models the clique interconnect under the one-port model: every
 // endpoint (the m processors plus P_in and P_out) owns one send port and
-// one receive port, each usable by a single transfer at a time.
+// one receive port, each usable by a single transfer at a time. Ports are
+// stored in flat slices indexed by endpoint id + 2 (PoutID = -2 maps to
+// 0), so constructing and using a network allocates two slices total
+// instead of two maps of pointers.
 type network struct {
 	eng   *Engine
 	pl    *platform.Platform
-	send  map[int]*resource
-	recv  map[int]*resource
+	send  []resource
+	recv  []resource
 	trace *Trace // nil unless Config.CollectTrace
+
+	// chain-state arena: transferChain draws states from here so pooled
+	// runs reuse them instead of allocating three objects per fan-out.
+	// Entries are recycled only between runs (chainNext resets in
+	// getScratch), never while their callbacks may still fire.
+	chains    []*chainState
+	chainNext int
+}
+
+// getChain returns a reset chain state with room for n arrivals.
+func (nw *network) getChain(n int, done func(last float64, arrivals []float64)) *chainState {
+	var st *chainState
+	if nw.chainNext < len(nw.chains) {
+		st = nw.chains[nw.chainNext]
+	} else {
+		st = &chainState{}
+		st.deliverFn = st.deliver
+		nw.chains = append(nw.chains, st)
+	}
+	nw.chainNext++
+	if cap(st.arrivals) < n {
+		st.arrivals = make([]float64, n)
+	}
+	st.arrivals = st.arrivals[:n]
+	st.next = 0
+	st.last = 0
+	st.done = done
+	return st
 }
 
 func newNetwork(eng *Engine, pl *platform.Platform) *network {
-	nw := &network{
+	return &network{
 		eng:  eng,
 		pl:   pl,
-		send: make(map[int]*resource, pl.NumProcs()+2),
-		recv: make(map[int]*resource, pl.NumProcs()+2),
+		send: make([]resource, pl.NumProcs()+2),
+		recv: make([]resource, pl.NumProcs()+2),
 	}
-	for u := -2; u < pl.NumProcs(); u++ {
-		nw.send[u] = &resource{}
-		nw.recv[u] = &resource{}
-	}
-	return nw
 }
+
+// port maps an endpoint id (-2..m-1) to its slice index.
+func port(u int) int { return u + 2 }
 
 // bandwidth returns the bandwidth of the link from endpoint u to endpoint
 // v, following the platform's parameterization (P_in only sends, P_out
@@ -69,27 +98,53 @@ func (nw *network) transfer(from, to int, size, ready float64, done func(arrival
 		return err
 	}
 	if size <= 0 {
-		nw.eng.At(ready, func() { done(ready) })
+		nw.eng.AtCall(ready, done, ready)
 		return nil
 	}
 	dur := size / b
 	start := ready
-	if s := nw.send[from].busyUntil; s > start {
+	if s := nw.send[port(from)].busyUntil; s > start {
 		start = s
 	}
-	if r := nw.recv[to].busyUntil; r > start {
+	if r := nw.recv[port(to)].busyUntil; r > start {
 		start = r
 	}
 	end := start + dur
-	nw.send[from].busyUntil = end
-	nw.recv[to].busyUntil = end
+	nw.send[port(from)].busyUntil = end
+	nw.recv[port(to)].busyUntil = end
 	if nw.trace != nil {
 		label := fmt.Sprintf("→%s δ=%g", procName(to), size)
 		nw.trace.add(procName(from)+":send", "transfer", label, start, end)
 		nw.trace.add(procName(to)+":recv", "transfer", procName(from)+"→ ", start, end)
 	}
-	nw.eng.At(end, func() { done(end) })
+	nw.eng.AtCall(end, done, end)
 	return nil
+}
+
+// chainState gathers the arrivals of one transferChain fan-out with a
+// single shared callback instead of one closure per target. Deliveries
+// arrive in target order: the sender's port serializes the transfers, so
+// their completion times are non-decreasing in claim order, and
+// simultaneous (zero-size) completions fire in scheduling order.
+type chainState struct {
+	arrivals []float64
+	next     int
+	last     float64
+	done     func(last float64, arrivals []float64)
+	// deliverFn is the method value bound once at construction so reusing
+	// the state does not re-allocate the closure.
+	deliverFn func(arrival float64)
+}
+
+func (c *chainState) deliver(arrival float64) {
+	c.arrivals[c.next] = arrival
+	c.next++
+	if arrival > c.last {
+		c.last = arrival
+	}
+	if c.next == len(c.arrivals) {
+		c.done(c.last, c.arrivals)
+	}
 }
 
 // transferChain sends size data units from one sender to each target in
@@ -101,22 +156,9 @@ func (nw *network) transferChain(from int, targets []int, size, ready float64, d
 		nw.eng.At(ready, func() { done(ready, nil) })
 		return nil
 	}
-	arrivals := make([]float64, len(targets))
-	remaining := len(targets)
-	var lastArrival float64
-	for i, to := range targets {
-		i, to := i, to
-		err := nw.transfer(from, to, size, ready, func(arrival float64) {
-			arrivals[i] = arrival
-			if arrival > lastArrival {
-				lastArrival = arrival
-			}
-			remaining--
-			if remaining == 0 {
-				done(lastArrival, arrivals)
-			}
-		})
-		if err != nil {
+	st := nw.getChain(len(targets), done)
+	for _, to := range targets {
+		if err := nw.transfer(from, to, size, ready, st.deliverFn); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// runScratch pools the per-run simulator state — the event heap, the
+// network ports, and the compute resources — so repeated Run calls (the
+// Monte-Carlo estimators and the ablation sweeps fire thousands) reuse
+// buffers instead of reallocating them. A scratch is private to one run:
+// it is taken from the pool at the start, fully reset, and returned once
+// the event loop has drained.
+type runScratch struct {
+	eng     Engine
+	nw      network
+	compute []resource
+
+	// alive-replica scratch for runWithFailures: groups reslices into
+	// aliveBuf so the survivor sets cost no per-run allocations.
+	groups   [][]int
+	aliveBuf []int
+}
+
+// aliveGroups filters alloc by the alive predicate into pooled storage.
+// The returned slices are valid until the scratch is reused; the empty
+// group index (if any) is returned as dead = j, dead = -1 otherwise.
+func (sc *runScratch) aliveGroups(alloc [][]int, alive func(int) bool) (groups [][]int, dead int) {
+	sc.groups = sc.groups[:0]
+	sc.aliveBuf = sc.aliveBuf[:0]
+	for j, procs := range alloc {
+		start := len(sc.aliveBuf)
+		for _, u := range procs {
+			if alive(u) {
+				sc.aliveBuf = append(sc.aliveBuf, u)
+			}
+		}
+		if len(sc.aliveBuf) == start {
+			return nil, j
+		}
+		sc.groups = append(sc.groups, sc.aliveBuf[start:len(sc.aliveBuf):len(sc.aliveBuf)])
+	}
+	return sc.groups, -1
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(runScratch) }}
+
+func getScratch(pl *platform.Platform) *runScratch {
+	sc := scratchPool.Get().(*runScratch)
+	m := pl.NumProcs()
+	sc.eng.now, sc.eng.seq, sc.eng.count = 0, 0, 0
+	if sc.eng.events == nil {
+		sc.eng.events = make(eventHeap, 0, 16)
+	}
+	sc.eng.events = sc.eng.events[:0]
+	sc.eng.cbs = sc.eng.cbs[:0]
+	sc.eng.free = sc.eng.free[:0]
+	sc.nw.eng = &sc.eng
+	sc.nw.pl = pl
+	sc.nw.trace = nil
+	sc.nw.send = resetResources(sc.nw.send, m+2)
+	sc.nw.recv = resetResources(sc.nw.recv, m+2)
+	sc.nw.chainNext = 0
+	sc.compute = resetResources(sc.compute, m)
+	return sc
+}
+
+func putScratch(sc *runScratch) {
+	sc.nw.pl = nil
+	sc.nw.trace = nil
+	for _, st := range sc.nw.chains[:sc.nw.chainNext] {
+		st.done = nil // release the run's closures for GC
+	}
+	scratchPool.Put(sc)
+}
+
+func resetResources(s []resource, n int) []resource {
+	if cap(s) < n {
+		return make([]resource, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = resource{}
+	}
+	return s
+}

@@ -129,12 +129,9 @@ func electWorst(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping,
 // for a single data set; with several data sets resources are shared FIFO
 // and latencies can only grow.
 func runWorstCase(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config) (RunResult, error) {
-	eng := &Engine{}
-	nw := newNetwork(eng, pl)
-	compute := make(map[int]*resource, pl.NumProcs())
-	for u := 0; u < pl.NumProcs(); u++ {
-		compute[u] = &resource{}
-	}
+	sc := getScratch(pl)
+	defer putScratch(sc)
+	eng, nw, compute := &sc.eng, &sc.nw, sc.compute
 	res := RunResult{Completed: true, DatasetLatencies: make([]float64, cfg.NumDataSets)}
 	if cfg.CollectTrace {
 		res.Trace = &Trace{}
@@ -152,7 +149,9 @@ func runWorstCase(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mappin
 		var electedEnd float64
 		for _, u := range m.Alloc[j] {
 			start, end := compute[u].claim(ready, work/pl.Speed[u])
-			res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			if res.Trace != nil {
+				res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			}
 			if u == elected {
 				electedEnd = end
 			}
@@ -226,31 +225,22 @@ func runWithFailures(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Map
 	sort.Ints(res.FailedProcs)
 	alive := func(u int) bool { return !failed[u] }
 
+	sc := getScratch(pl)
+	defer putScratch(sc)
+
 	// An interval with no surviving replica kills the whole application.
-	aliveReplicas := make([][]int, len(m.Intervals))
-	for j, procs := range m.Alloc {
-		for _, u := range procs {
-			if alive(u) {
-				aliveReplicas[j] = append(aliveReplicas[j], u)
-			}
-		}
-		if len(aliveReplicas[j]) == 0 {
-			res.Completed = false
-			return res, nil
-		}
+	aliveReplicas, dead := sc.aliveGroups(m.Alloc, alive)
+	if dead >= 0 {
+		res.Completed = false
+		return res, nil
 	}
 	res.Completed = true
 	res.DatasetLatencies = make([]float64, cfg.NumDataSets)
 
-	eng := &Engine{}
-	nw := newNetwork(eng, pl)
+	eng, nw, compute := &sc.eng, &sc.nw, sc.compute
 	if cfg.CollectTrace {
 		res.Trace = &Trace{}
 		nw.trace = res.Trace
-	}
-	compute := make(map[int]*resource, pl.NumProcs())
-	for u := 0; u < pl.NumProcs(); u++ {
-		compute[u] = &resource{}
 	}
 	var runErr error
 
@@ -263,7 +253,9 @@ func runWithFailures(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Map
 		var leaderEnd float64
 		for i, u := range aliveReplicas[j] {
 			start, end := compute[u].claim(arrivals[i], work/pl.Speed[u])
-			res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			if res.Trace != nil {
+				res.Trace.add(procName(u)+":compute", "compute", fmt.Sprintf("d%d I%d", d, j+1), start, end)
+			}
 			if u == leader {
 				leaderEnd = end
 			}
@@ -277,8 +269,10 @@ func runWithFailures(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Map
 					return
 				}
 				res.ConsensusRounds += cres.Rounds
-				res.Trace.add(procName(cres.Leader)+":compute", "consensus",
-					fmt.Sprintf("d%d I%d elect", d, j+1), cres.Decided, cres.Decided)
+				if res.Trace != nil {
+					res.Trace.add(procName(cres.Leader)+":compute", "consensus",
+						fmt.Sprintf("d%d I%d elect", d, j+1), cres.Decided, cres.Decided)
+				}
 				out := p.OutputSize(iv.Last)
 				// The leader is the lowest-ranked survivor; its result is
 				// ready at leaderEnd and the election decided at
@@ -339,5 +333,6 @@ func RunInjected(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping
 		return RunResult{}, fmt.Errorf("sim: failure vector has %d entries, want %d", len(failed), pl.NumProcs())
 	}
 	cfg = cfg.withDefaults()
-	return runWithFailures(p, pl, m, cfg, append([]bool(nil), failed...))
+	// failed is only read during the run, never retained or mutated.
+	return runWithFailures(p, pl, m, cfg, failed)
 }

@@ -328,10 +328,13 @@ func (a Metrics) Dominates(b Metrics) bool {
 	return a.Latency < b.Latency || a.FailureProb < b.FailureProb || a.Period < b.Period
 }
 
-// TriEntry is one point of a three-criteria front.
+// TriEntry is one point of a three-criteria front. Task is the discovery
+// tag used by the parallel enumeration to keep duplicate-point
+// representatives deterministic (see frontier.Entry.Task).
 type TriEntry struct {
 	Metrics Metrics
 	Mapping *RRMapping
+	Task    int64
 }
 
 // TriFront is a set of mutually non-dominated three-criteria points.
@@ -357,8 +360,39 @@ func (f *TriFront) Entries() []TriEntry {
 // Insert offers a point; dominated or duplicate points are rejected and
 // newly dominated points evicted.
 func (f *TriFront) Insert(met Metrics, m *RRMapping) bool {
-	for _, e := range f.entries {
-		if e.Metrics == met || e.Metrics.Dominates(met) {
+	return f.InsertTagged(met, m, 0)
+}
+
+// InsertTagged is Insert with the deterministic duplicate tie-break of
+// frontier.Front.InsertTagged: an exactly-equal metric point replaces the
+// existing representative when task is strictly lower.
+func (f *TriFront) InsertTagged(met Metrics, m *RRMapping, task int64) bool {
+	return f.insert(met, m, task, true)
+}
+
+// InsertOwned is InsertTagged taking ownership of m instead of cloning it
+// (for merging per-worker fronts about to be discarded).
+func (f *TriFront) InsertOwned(met Metrics, m *RRMapping, task int64) bool {
+	return f.insert(met, m, task, false)
+}
+
+func (f *TriFront) insert(met Metrics, m *RRMapping, task int64, clone bool) bool {
+	cp := func() *RRMapping {
+		if clone {
+			return cloneRROrNil(m)
+		}
+		return m
+	}
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.Metrics == met {
+			if task < e.Task {
+				e.Task = task
+				e.Mapping = cp()
+			}
+			return false
+		}
+		if e.Metrics.Dominates(met) {
 			return false
 		}
 	}
@@ -368,17 +402,6 @@ func (f *TriFront) Insert(met Metrics, m *RRMapping) bool {
 			keep = append(keep, e)
 		}
 	}
-	var cp *RRMapping
-	if m != nil {
-		cp = &RRMapping{Intervals: append([]mapping.Interval(nil), m.Intervals...)}
-		for _, groups := range m.Groups {
-			var gg [][]int
-			for _, g := range groups {
-				gg = append(gg, append([]int(nil), g...))
-			}
-			cp.Groups = append(cp.Groups, gg)
-		}
-	}
-	f.entries = append(keep, TriEntry{Metrics: met, Mapping: cp})
+	f.entries = append(keep, TriEntry{Metrics: met, Mapping: cp(), Task: task})
 	return true
 }

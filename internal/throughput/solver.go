@@ -62,59 +62,108 @@ func forEachGrouping(procs []int, visit func(groups [][]int) bool) bool {
 	return rec(1, 0)
 }
 
+// triBest is one worker's incumbent for MinPeriodUnderConstraints,
+// tagged with the first-interval subtree it was found in so per-worker
+// answers merge deterministically regardless of scheduling.
+type triBest struct {
+	res   TriResult
+	task  int64
+	found bool
+}
+
+// triBetter reports whether (a, taskA) beats (b, taskB) under the solver's
+// order: period, then latency, then discovery task.
+func triBetter(a Metrics, taskA int64, b Metrics, taskB int64) bool {
+	if a.Period != b.Period {
+		return a.Period < b.Period
+	}
+	if a.Latency != b.Latency {
+		return a.Latency < b.Latency
+	}
+	return taskA < taskB
+}
+
 // MinPeriodUnderConstraints finds, by exhaustive enumeration over interval
 // mappings and all round-robin groupings of each replica set, the RR
 // mapping of minimum period among those with latency ≤ maxLatency and
 // failure probability ≤ maxFailProb. Use math.Inf(1) and 1 to leave a
 // criterion unconstrained. Instances must be small (the grouping space
-// multiplies Bell numbers into the mapping enumeration).
+// multiplies Bell numbers into the mapping enumeration). The mapping
+// enumeration fans out over opts.Workers goroutines (0 = GOMAXPROCS) via
+// the exact package's first-interval decomposition; the result is
+// deterministic for every worker count.
 func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxLatency, maxFailProb float64, opts exact.Options) (TriResult, error) {
-	best := TriResult{Metrics: Metrics{Period: math.Inf(1)}}
 	opts.Replication = true
-	err := exact.ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(m *mapping.Mapping) bool {
-		enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
-			met, err := r.Evaluate(p, pl)
-			if err != nil {
-				return
-			}
-			if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
-				return
-			}
-			if met.Period < best.Metrics.Period ||
-				(met.Period == best.Metrics.Period && met.Latency < best.Metrics.Latency) {
-				best = TriResult{Mapping: cloneRR(r), Metrics: met}
-			}
-		})
-		return true
+	bests := make([]triBest, opts.WorkerCount())
+	err := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
+		wb := &bests[w]
+		return func(task int64, m *mapping.Mapping) bool {
+			enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+				met, err := r.Evaluate(p, pl)
+				if err != nil {
+					return
+				}
+				if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
+					return
+				}
+				if !wb.found || triBetter(met, task, wb.res.Metrics, wb.task) {
+					*wb = triBest{res: TriResult{Mapping: cloneRR(r), Metrics: met}, task: task, found: true}
+				}
+			})
+			return true
+		}
 	})
 	if err != nil {
 		return TriResult{}, err
 	}
-	if best.Mapping == nil {
+	best := triBest{}
+	for _, wb := range bests {
+		if wb.found && (!best.found || triBetter(wb.res.Metrics, wb.task, best.res.Metrics, best.task)) {
+			best = wb
+		}
+	}
+	if !best.found {
 		return TriResult{}, ErrInfeasible
 	}
-	return best, nil
+	return best.res, nil
 }
 
 // TriPareto enumerates the full three-criteria Pareto front (latency,
-// failure probability, period) over RR mappings of a small instance.
+// failure probability, period) over RR mappings of a small instance,
+// fanning the mapping enumeration out over opts.Workers goroutines with
+// one front per worker, merged at the end. The metric set is exact and
+// scheduling-independent.
 func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) (*TriFront, error) {
-	front := &TriFront{}
 	opts.Replication = true
-	err := exact.ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(m *mapping.Mapping) bool {
-		enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
-			met, err := r.Evaluate(p, pl)
-			if err != nil {
-				return
-			}
-			front.Insert(met, r)
-		})
-		return true
+	fronts := make([]*TriFront, opts.WorkerCount())
+	err := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
+		front := &TriFront{}
+		fronts[w] = front
+		return func(task int64, m *mapping.Mapping) bool {
+			enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+				met, err := r.Evaluate(p, pl)
+				if err != nil {
+					return
+				}
+				front.InsertTagged(met, r, task)
+			})
+			return true
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	return front, nil
+	merged := &TriFront{}
+	for _, f := range fronts {
+		if f == nil {
+			continue
+		}
+		// Worker fronts already own private clones; transfer ownership.
+		for _, e := range f.entries {
+			merged.InsertOwned(e.Metrics, e.Mapping, e.Task)
+		}
+	}
+	return merged, nil
 }
 
 // enumerateGroupings recursively replaces interval j's single group by
@@ -130,6 +179,13 @@ func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, visit func(*RRM
 		return true
 	})
 	r.Groups[j] = [][]int{m.Alloc[j]}
+}
+
+func cloneRROrNil(r *RRMapping) *RRMapping {
+	if r == nil {
+		return nil
+	}
+	return cloneRR(r)
 }
 
 func cloneRR(r *RRMapping) *RRMapping {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite and record the results as JSON,
+# starting the repository's performance trajectory. Each run writes
+# BENCH_<date>.json (go test -bench -json stream) next to this script's
+# repo root; pass a benchmark regex to restrict the run, e.g.
+#
+#   scripts/bench.sh 'BenchmarkE2Fig5|BenchmarkE14'
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s)
+#   COUNT      repetitions per benchmark (default 1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="BENCH_$(date +%Y%m%d_%H%M%S).json"
+
+echo "benchmarking '${PATTERN}' (benchtime=${BENCHTIME}, count=${COUNT}) -> ${OUT}" >&2
+go test -run '^$' -bench "${PATTERN}" -benchmem \
+    -benchtime "${BENCHTIME}" -count "${COUNT}" -json . > "${OUT}"
+
+# Human summary: reassemble the Output fragments (the JSON stream splits
+# benchmark lines across events) and print the measurement lines.
+grep -o '"Output":"[^"]*"' "${OUT}" \
+    | sed -e 's/^"Output":"//' -e 's/"$//' \
+    | while IFS= read -r frag; do printf '%b' "${frag}"; done \
+    | grep -E '^Benchmark.*(ns/op|allocs/op)' || true
+
+echo "wrote ${OUT}" >&2
