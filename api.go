@@ -1,6 +1,13 @@
+// The top-level functions in this file are the legacy per-call surface:
+// each builds a throwaway Session (revalidating the instance and
+// rebuilding the evaluator) and forwards under context.Background(). New
+// code — and anything issuing repeated calls against one instance or
+// needing cancellation — should create a Session once and use its
+// methods instead.
 package repro
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -90,6 +97,10 @@ const (
 	ProvablyOptimal     = core.ProvablyOptimal
 	ExhaustivelyOptimal = core.ExhaustivelyOptimal
 	Heuristic           = core.Heuristic
+	// Partial marks a result returned after context cancellation: the
+	// best feasible mapping found before the deadline, no optimality
+	// claim.
+	Partial = core.Partial
 )
 
 // Simulation modes.
@@ -168,12 +179,32 @@ func FailureProbLog(pl *Platform, m *Mapping) float64 { return mapping.FailurePr
 
 // Solve routes a bi-criteria problem to the strongest method for its
 // platform class (the paper's Algorithms 1–4 when provably optimal,
-// exhaustive enumeration when small, heuristics otherwise).
-func Solve(pr Problem) (Result, error) { return core.Solve(pr) }
+// exhaustive enumeration when small, heuristics otherwise). It is a
+// per-call wrapper over a default Session; create a Session directly to
+// reuse the evaluator across calls or to cancel via context.
+func Solve(pr Problem) (Result, error) { return SolveWithOptions(pr, SolveOptions{}) }
 
 // SolveWithOptions is Solve with explicit routing options.
 func SolveWithOptions(pr Problem, opts SolveOptions) (Result, error) {
-	return core.SolveWithOptions(pr, opts)
+	s, err := NewSession(pr.Pipeline, pr.Platform, sessionOptionsFrom(opts)...)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Solve(context.Background(), SolveRequest{
+		Objective:   pr.Objective,
+		MaxLatency:  pr.MaxLatency,
+		MaxFailProb: pr.MaxFailProb,
+	})
+}
+
+// sessionOptionsFrom translates legacy SolveOptions into session options.
+func sessionOptionsFrom(opts SolveOptions) []SessionOption {
+	return []SessionOption{
+		WithWorkers(opts.Workers),
+		WithExactBudget(opts.ExactBudget),
+		WithAnneal(opts.Anneal),
+		WithForceHeuristic(opts.ForceHeuristic),
+	}
 }
 
 // MinLatencyGeneralMapping computes the latency-optimal general mapping by
@@ -203,7 +234,7 @@ func IntervalLatencyBounds(p *Pipeline, pl *Platform) (IntervalBounds, error) {
 // latency-minimal interval mappings on heterogeneous platforms (the
 // §4.1 open problem); beamWidth ≤ 0 selects the default (16).
 func BeamSearchMinLatency(p *Pipeline, pl *Platform, beamWidth int) (*Mapping, Metrics, error) {
-	res, err := heuristics.BeamSearchMinLatency(p, pl, beamWidth)
+	res, err := heuristics.BeamSearchMinLatency(context.Background(), p, pl, beamWidth)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
@@ -213,13 +244,17 @@ func BeamSearchMinLatency(p *Pipeline, pl *Platform, beamWidth int) (*Mapping, M
 // MinFailureProb returns Theorem 1's optimum: the whole pipeline
 // replicated on every processor.
 func MinFailureProb(p *Pipeline, pl *Platform) (Result, error) {
-	return core.Solve(Problem{Pipeline: p, Platform: pl, Objective: MinimizeFailureProb})
+	return Solve(Problem{Pipeline: p, Platform: pl, Objective: MinimizeFailureProb})
 }
 
 // ParetoFront computes the latency/FP trade-off curve: exhaustively on
 // small instances, by annealing archive otherwise.
 func ParetoFront(p *Pipeline, pl *Platform, opts SolveOptions) (*Front, Certainty, error) {
-	return core.Pareto(p, pl, opts)
+	s, err := NewSession(p, pl, sessionOptionsFrom(opts)...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.Pareto(context.Background())
 }
 
 // Simulate executes a mapped workflow on the discrete-event simulator.
@@ -245,13 +280,13 @@ func EstimateFailureProb(pl *Platform, m *Mapping, trials int, rng *rand.Rand) (
 // goroutines with deterministic per-worker RNG streams (workers ≤ 0 uses
 // GOMAXPROCS).
 func EstimateFailureProbParallel(pl *Platform, m *Mapping, trials, workers int, seed int64) (FPEstimate, error) {
-	return sim.EstimateFPParallel(pl, m, trials, workers, seed)
+	return sim.EstimateFPParallel(context.Background(), pl, m, trials, workers, seed)
 }
 
 // MonteCarloCampaign runs trials independent Monte-Carlo simulations in
 // parallel and aggregates failure rate and latency statistics.
 func MonteCarloCampaign(p *Pipeline, pl *Platform, m *Mapping, cfg SimConfig, trials, workers int, seed int64) (MCSummary, error) {
-	return sim.MonteCarloLatencyParallel(p, pl, m, cfg, trials, workers, seed)
+	return sim.MonteCarloLatencyParallel(context.Background(), p, pl, m, cfg, trials, workers, seed)
 }
 
 // Lemma1SingleInterval applies the paper's Lemma 1 transformation: on
@@ -295,7 +330,7 @@ func MinPeriodUnderConstraints(p *Pipeline, pl *Platform, maxLatency, maxFailPro
 // GreedyRoundRobin splits bottleneck groups round-robin as long as the
 // period improves within both constraints (scalable heuristic).
 func GreedyRoundRobin(p *Pipeline, pl *Platform, m *Mapping, maxLatency, maxFailProb float64) (TriResult, error) {
-	return throughput.GreedyRR(p, pl, m, maxLatency, maxFailProb)
+	return throughput.GreedyRR(context.Background(), p, pl, m, maxLatency, maxFailProb)
 }
 
 // TriParetoFront enumerates the three-criteria Pareto front (latency, FP,

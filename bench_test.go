@@ -8,6 +8,7 @@ package repro
 // to reproduce all of them, or cmd/paperbench to print the tables.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -220,7 +221,7 @@ func BenchmarkE10Greedy(b *testing.B) {
 	pr := &heuristics.Problem{Pipe: inst.Pipeline, Plat: inst.Platform, Goal: heuristics.MinFP, Bound: fast.Metrics.Latency * 2}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristics.Greedy(pr); err != nil {
+		if _, err := heuristics.Greedy(context.Background(), pr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -238,7 +239,7 @@ func BenchmarkE10Anneal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Fixed seed: identical deterministic work per iteration (a
 		// varying seed can hit a restart budget that misses feasibility).
-		if _, err := heuristics.Anneal(pr, heuristics.AnnealConfig{Seed: 3, Iters: 1000, Restarts: 2}); err != nil {
+		if _, err := heuristics.Anneal(context.Background(), pr, heuristics.AnnealConfig{Seed: 3, Iters: 1000, Restarts: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -416,8 +417,67 @@ func BenchmarkE17BeamSearch(b *testing.B) {
 	pl := platform.RandomFullyHeterogeneous(rng, 48, 1, 10, 0, 1, 1, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristics.BeamSearchMinLatency(p, pl, 16); err != nil {
+		if _, err := heuristics.BeamSearchMinLatency(context.Background(), p, pl, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSessionReuse quantifies what a long-lived Session amortizes
+// versus the legacy per-call wrappers, which validate the instance and
+// rebuild the evaluator state on every call. The Solve pair measures a
+// full Figure 5 solve; the Evaluate pair isolates the metric evaluation
+// hot path (the session serves it from the cached bitmask evaluator).
+func BenchmarkSessionReuse(b *testing.B) {
+	p, pl := workload.Fig5()
+	req := SolveRequest{Objective: MinimizeFailureProb, MaxLatency: 22}
+	prob := Problem{Pipeline: p, Platform: pl, Objective: MinimizeFailureProb, MaxLatency: 22}
+	m := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	ctx := context.Background()
+
+	b.Run("Solve/session", func(b *testing.B) {
+		s, err := NewSession(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Solve/percall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Evaluate/session", func(b *testing.B) {
+		s, err := NewSession(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Evaluate(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Evaluate/percall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Evaluate(p, pl, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	paperbench            # run every experiment
-//	paperbench -run E2,E5 # run selected experiments
-//	paperbench -list      # list experiment ids and titles
+//	paperbench             # run every experiment
+//	paperbench -run E2,E5  # run selected experiments
+//	paperbench -list       # list experiment ids and titles
+//	paperbench -timeout 30s # stop starting experiments past the budget
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,7 @@ var experiments = []struct {
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (e.g. E1,E5) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget; experiments not started before it expires are skipped (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -60,15 +63,30 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	ran := 0
+	var skipped []string
 	for _, e := range experiments {
 		if !all && !want[e.id] {
+			continue
+		}
+		if ctx.Err() != nil {
+			skipped = append(skipped, e.id)
 			continue
 		}
 		fmt.Println(e.fn().String())
 		ran++
 	}
-	if ran == 0 {
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: wall-clock budget %s hit; skipped %s\n",
+			*timeout, strings.Join(skipped, ","))
+	}
+	if ran == 0 && len(skipped) == 0 {
 		fmt.Fprintf(os.Stderr, "paperbench: no experiment matches %q (use -list)\n", *runFlag)
 		os.Exit(1)
 	}

@@ -1,6 +1,9 @@
 // Command pipemap solves a bi-criteria pipeline mapping problem described
 // in JSON and prints the mapping, its metrics, and the provenance of the
-// answer (which of the paper's algorithms produced it).
+// answer (which of the paper's algorithms produced it). It drives the
+// library's Session API, so solves are deadline-aware: with -timeout the
+// search is cancelled at the deadline and the best-so-far mapping is
+// printed marked "partial".
 //
 // Input format (stdin, or a file via -f):
 //
@@ -21,16 +24,22 @@
 //	-pareto      print the latency/FP Pareto front instead of one answer
 //	-general     print Theorem 4's latency-optimal general mapping too
 //	-heuristic   skip exact enumeration even on small instances
+//	-timeout d   wall-clock budget (e.g. 500ms; 0 = none)
+//	-workers n   solver goroutines (0 = GOMAXPROCS)
+//	-budget x    exact-vs-heuristic routing budget (0 = default)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
@@ -49,15 +58,18 @@ func main() {
 	pareto := flag.Bool("pareto", false, "print the Pareto front")
 	general := flag.Bool("general", false, "also print the Theorem 4 general mapping")
 	heuristic := flag.Bool("heuristic", false, "force heuristic solving")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	workers := flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+	budget := flag.Float64("budget", 0, "exact-vs-heuristic routing budget (0 = default)")
 	flag.Parse()
 
-	if err := run(*file, *pareto, *general, *heuristic); err != nil {
+	if err := run(*file, *pareto, *general, *heuristic, *timeout, *workers, *budget); err != nil {
 		fmt.Fprintf(os.Stderr, "pipemap: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, pareto, general, heuristic bool) error {
+func run(file string, pareto, general, heuristic bool, timeout time.Duration, workers int, budget float64) error {
 	var in io.Reader = os.Stdin
 	if file != "" {
 		f, err := os.Open(file)
@@ -77,10 +89,22 @@ func run(file string, pareto, general, heuristic bool) error {
 	fmt.Printf("application: %s\n", pj.Pipeline)
 	fmt.Printf("platform:    %s\n", pj.Platform)
 
-	opts := core.Options{ForceHeuristic: heuristic}
+	opts := []repro.SessionOption{
+		repro.WithWorkers(workers),
+		repro.WithExactBudget(budget),
+		repro.WithForceHeuristic(heuristic),
+	}
+	if timeout > 0 {
+		opts = append(opts, repro.WithDeadline(timeout))
+	}
+	sess, err := repro.NewSession(pj.Pipeline, pj.Platform, opts...)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
 
 	if pareto {
-		front, cert, err := core.Pareto(pj.Pipeline, pj.Platform, opts)
+		front, cert, err := sess.Pareto(ctx)
 		if err != nil {
 			return err
 		}
@@ -92,21 +116,19 @@ func run(file string, pareto, general, heuristic bool) error {
 		return nil
 	}
 
-	obj := core.MinimizeFailureProb
+	obj := repro.MinimizeFailureProb
 	switch pj.Objective {
 	case "minLatency":
-		obj = core.MinimizeLatency
+		obj = repro.MinimizeLatency
 	case "minFailureProb", "minFP", "":
 	default:
 		return fmt.Errorf("unknown objective %q (want minLatency or minFailureProb)", pj.Objective)
 	}
-	res, err := core.SolveWithOptions(core.Problem{
-		Pipeline:    pj.Pipeline,
-		Platform:    pj.Platform,
+	res, err := sess.Solve(ctx, repro.SolveRequest{
 		Objective:   obj,
 		MaxLatency:  pj.MaxLatency,
 		MaxFailProb: pj.MaxFailProb,
-	}, opts)
+	})
 	if err != nil {
 		return err
 	}
@@ -115,6 +137,9 @@ func run(file string, pareto, general, heuristic bool) error {
 	fmt.Printf("latency:     %.6g\n", res.Metrics.Latency)
 	fmt.Printf("failureProb: %.6g\n", res.Metrics.FailureProb)
 	fmt.Printf("method:      %s (%s)\n", res.Method, res.Certainty)
+	if res.Certainty == repro.Partial {
+		fmt.Printf("note:        deadline hit — best mapping found before cancellation\n")
+	}
 
 	if general {
 		g, err := core.MinLatencyGeneral(pj.Pipeline, pj.Platform)

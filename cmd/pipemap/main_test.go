@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 const fig5Problem = `{
@@ -28,21 +29,21 @@ func writeProblem(t *testing.T, content string) string {
 
 func TestRunSolve(t *testing.T) {
 	path := writeProblem(t, fig5Problem)
-	if err := run(path, false, false, false); err != nil {
+	if err := run(path, false, false, false, 0, 0, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunPareto(t *testing.T) {
 	path := writeProblem(t, fig5Problem)
-	if err := run(path, true, false, false); err != nil {
+	if err := run(path, true, false, false, 0, 0, 0); err != nil {
 		t.Fatalf("run -pareto: %v", err)
 	}
 }
 
 func TestRunGeneralAndHeuristic(t *testing.T) {
 	path := writeProblem(t, fig5Problem)
-	if err := run(path, false, true, true); err != nil {
+	if err := run(path, false, true, true, 0, 0, 0); err != nil {
 		t.Fatalf("run -general -heuristic: %v", err)
 	}
 }
@@ -53,21 +54,21 @@ func TestRunMinLatencyObjective(t *testing.T) {
 	  "platform": {"speed": [2], "failProb": [0.1], "b": [[0]], "bIn": [1], "bOut": [1]},
 	  "objective": "minLatency"
 	}`)
-	if err := run(path, false, false, false); err != nil {
+	if err := run(path, false, false, false, 0, 0, 0); err != nil {
 		t.Fatalf("run minLatency: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), false, false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), false, false, false, 0, 0, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeProblem(t, `{not json`)
-	if err := run(bad, false, false, false); err == nil {
+	if err := run(bad, false, false, false, 0, 0, 0); err == nil {
 		t.Error("malformed JSON accepted")
 	}
 	noPipe := writeProblem(t, `{"platform": {"speed": [1], "failProb": [0], "b": [[0]], "bIn": [1], "bOut": [1]}}`)
-	if err := run(noPipe, false, false, false); err == nil {
+	if err := run(noPipe, false, false, false, 0, 0, 0); err == nil {
 		t.Error("problem without pipeline accepted")
 	}
 	badObjective := writeProblem(t, `{
@@ -75,7 +76,7 @@ func TestRunErrors(t *testing.T) {
 	  "platform": {"speed": [1], "failProb": [0], "b": [[0]], "bIn": [1], "bOut": [1]},
 	  "objective": "maximizeFun"
 	}`)
-	if err := run(badObjective, false, false, false); err == nil {
+	if err := run(badObjective, false, false, false, 0, 0, 0); err == nil {
 		t.Error("unknown objective accepted")
 	}
 	infeasible := writeProblem(t, `{
@@ -87,7 +88,14 @@ func TestRunErrors(t *testing.T) {
 	  "objective": "minFailureProb",
 	  "maxLatency": 0.5
 	}`)
-	if err := run(infeasible, false, false, false); err == nil {
+	if err := run(infeasible, false, false, false, 0, 0, 0); err == nil {
 		t.Error("infeasible problem reported success")
+	}
+}
+
+func TestRunWithTimeoutAndTuning(t *testing.T) {
+	path := writeProblem(t, fig5Problem)
+	if err := run(path, false, false, false, time.Second, 2, 1e6); err != nil {
+		t.Fatalf("run -timeout 1s -workers 2 -budget 1e6: %v", err)
 	}
 }

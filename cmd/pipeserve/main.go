@@ -1,0 +1,86 @@
+// Command pipeserve runs the bi-criteria mapping solver as a JSON-over-
+// HTTP service built on the library's session API: warm sessions are kept
+// in an LRU keyed by instance hash, every request carries an optional
+// deadline mapped to context cancellation, and batches fan out over a
+// bounded worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/solve        one problem  (same JSON schema as cmd/pipemap)
+//	POST /v1/solve/batch  {"problems": [...]} — one result per problem
+//	GET  /healthz         liveness probe
+//	GET  /v1/stats        request and session-cache counters
+//
+// Example:
+//
+//	pipeserve -addr :8080 &
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "pipeline": {"w": [1, 100], "delta": [10, 1, 0]},
+//	  "platform": {"speed": [1, 100], "failProb": [0.1, 0.8],
+//	               "b": [[0, 1], [1, 0]], "bIn": [1, 1], "bOut": [1, 1]},
+//	  "objective": "minFailureProb", "maxLatency": 22,
+//	  "deadlineMillis": 500
+//	}'
+//
+// Flags:
+//
+//	-addr :8080       listen address
+//	-cache 128        warm-session LRU capacity
+//	-deadline 30s     default per-request deadline (when the request has none)
+//	-maxbatch 64      largest accepted batch
+//	-parallel 0       concurrent solves per batch (0 = GOMAXPROCS)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 128, "warm-session LRU capacity")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxBatch := flag.Int("maxbatch", 64, "largest accepted batch")
+	parallel := flag.Int("parallel", 0, "concurrent solves per batch (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		CacheSize:        *cache,
+		DefaultDeadline:  *deadline,
+		MaxBatch:         *maxBatch,
+		BatchParallelism: *parallel,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("pipeserve: listening on %s (cache=%d, deadline=%s)", *addr, *cache, *deadline)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("pipeserve: %v", err)
+	case <-ctx.Done():
+		log.Printf("pipeserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pipeserve: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/serve"
+)
+
+// TestServiceWiring spins the exact service configuration main would
+// build and exercises one solve round trip (the full endpoint matrix is
+// covered by the serve package's tests).
+func TestServiceWiring(t *testing.T) {
+	svc := serve.New(serve.Config{
+		CacheSize:       8,
+		DefaultDeadline: 5 * time.Second,
+		MaxBatch:        4,
+	})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	body := `{
+	  "pipeline": {"w": [1, 100], "delta": [10, 1, 0]},
+	  "platform": {"speed": [1, 100], "failProb": [0.1, 0.8],
+	               "b": [[0, 1], [1, 0]], "bIn": [1, 1], "bOut": [1, 1]},
+	  "objective": "minFailureProb", "maxLatency": 22
+	}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	}
+}

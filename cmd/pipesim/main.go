@@ -23,17 +23,22 @@
 //	-timeout T       consensus dead-coordinator timeout (default 0)
 //	-msgsize X       consensus control message size (default 0)
 //	-kill 1,4,7      explicit failure injection (processor ids, 0-based)
+//	-workers N       Monte-Carlo campaign goroutines (default 1 so seeded
+//	                 output is machine-independent; 0 = GOMAXPROCS)
+//	-wall D          wall-clock budget for the campaign (e.g. 2s; 0 = none);
+//	                 past it the partial statistics are printed
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
@@ -60,15 +65,20 @@ func main() {
 	msgsize := flag.Float64("msgsize", 0, "consensus control message size")
 	kill := flag.String("kill", "", "comma-separated processor ids to fail")
 	trace := flag.Bool("trace", false, "print an ASCII Gantt chart of the run (worst/kill modes)")
+	// Default 1, not GOMAXPROCS: the printed statistics depend on
+	// (trials, workers, seed), so a host-dependent default would make the
+	// same seeded command print different numbers on different machines.
+	workers := flag.Int("workers", 1, "Monte-Carlo campaign goroutines (0 = GOMAXPROCS; >1 changes the RNG stream split)")
+	wall := flag.Duration("wall", 0, "wall-clock budget for the Monte-Carlo campaign (0 = none)")
 	flag.Parse()
 
-	if err := run(*file, *demo, *mode, *trials, *seed, *datasets, *period, *timeout, *msgsize, *kill, *trace); err != nil {
+	if err := run(*file, *demo, *mode, *trials, *seed, *datasets, *period, *timeout, *msgsize, *kill, *trace, *workers, *wall); err != nil {
 		fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, demo bool, mode string, trials int, seed int64, datasets int, period, timeout, msgsize float64, kill string, trace bool) error {
+func run(file string, demo bool, mode string, trials int, seed int64, datasets int, period, timeout, msgsize float64, kill string, trace bool, workers int, wall time.Duration) error {
 	var inst instanceJSON
 	if demo {
 		p, pl := workload.Fig5()
@@ -140,32 +150,28 @@ func run(file string, demo bool, mode string, trials int, seed int64, datasets i
 		}
 		printRun("worst case", res)
 	case "mc":
-		rng := rand.New(rand.NewSource(seed))
-		cfg.Mode = sim.MonteCarlo
-		cfg.RNG = rng
-		failures := 0
-		var maxLat, sumLat float64
-		completed := 0
-		for i := 0; i < trials; i++ {
-			res, err := sim.Run(inst.Pipeline, inst.Platform, inst.Mapping, cfg)
-			if err != nil {
-				return err
-			}
-			if !res.Completed {
-				failures++
-				continue
-			}
-			completed++
-			sumLat += res.MaxLatency
-			if res.MaxLatency > maxLat {
-				maxLat = res.MaxLatency
-			}
+		// The campaign fans out over worker goroutines with deterministic
+		// per-worker RNG streams; -wall maps to context cancellation, so an
+		// over-budget campaign reports the trials it finished.
+		ctx := context.Background()
+		if wall > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, wall)
+			defer cancel()
 		}
-		fmt.Printf("mode:             Monte-Carlo, %d trials\n", trials)
-		fmt.Printf("empirical FP:     %.6g (analytic %.6g)\n", float64(failures)/float64(trials), analyticFP)
-		if completed > 0 {
-			fmt.Printf("mean latency:     %.6g\n", sumLat/float64(completed))
-			fmt.Printf("max latency:      %.6g (worst-case bound %.6g)\n", maxLat, analytic)
+		sum, err := sim.MonteCarloLatencyParallel(ctx, inst.Pipeline, inst.Platform, inst.Mapping, cfg, trials, workers, seed)
+		if err != nil && sum.Trials == 0 {
+			return err
+		}
+		if err != nil {
+			fmt.Printf("mode:             Monte-Carlo, %d/%d trials (wall-clock budget hit)\n", sum.Trials, trials)
+		} else {
+			fmt.Printf("mode:             Monte-Carlo, %d trials\n", sum.Trials)
+		}
+		fmt.Printf("empirical FP:     %.6g (analytic %.6g)\n", sum.FailureRate, analyticFP)
+		if sum.Completed > 0 {
+			fmt.Printf("mean latency:     %.6g\n", sum.MeanLatency)
+			fmt.Printf("max latency:      %.6g (worst-case bound %.6g)\n", sum.MaxLatency, analytic)
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (want worst or mc)", mode)

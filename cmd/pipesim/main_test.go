@@ -4,33 +4,34 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunDemoWorstCase(t *testing.T) {
-	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "", false); err != nil {
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err != nil {
 		t.Fatalf("demo worst: %v", err)
 	}
 }
 
 func TestRunDemoMonteCarlo(t *testing.T) {
-	if err := run("", true, "mc", 200, 7, 1, 0, 0, 0, "", false); err != nil {
+	if err := run("", true, "mc", 200, 7, 1, 0, 0, 0, "", false, 0, 0); err != nil {
 		t.Fatalf("demo mc: %v", err)
 	}
 }
 
 func TestRunDemoKillAndTrace(t *testing.T) {
-	if err := run("", true, "worst", 0, 1, 1, 0, 2, 0, "1,2", true); err != nil {
+	if err := run("", true, "worst", 0, 1, 1, 0, 2, 0, "1,2", true, 0, 0); err != nil {
 		t.Fatalf("demo kill: %v", err)
 	}
 	// Killing the reliable processor fails the application but is not a
 	// tool error.
-	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "0", false); err != nil {
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "0", false, 0, 0); err != nil {
 		t.Fatalf("fatal kill: %v", err)
 	}
 }
 
 func TestRunDemoStreaming(t *testing.T) {
-	if err := run("", true, "worst", 0, 1, 5, 100, 0, 0, "", false); err != nil {
+	if err := run("", true, "worst", 0, 1, 5, 100, 0, 0, "", false, 0, 0); err != nil {
 		t.Fatalf("streaming: %v", err)
 	}
 }
@@ -48,32 +49,40 @@ func TestRunFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err != nil {
+	if err := run(path, false, "worst", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err != nil {
 		t.Fatalf("file worst: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, "worst", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("", true, "banana", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+	if err := run("", true, "banana", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "notanumber", false); err == nil {
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "notanumber", false, 0, 0); err == nil {
 		t.Error("bad kill list accepted")
 	}
-	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "99", false); err == nil {
+	if err := run("", true, "worst", 0, 1, 1, 0, 0, 0, "99", false, 0, 0); err == nil {
 		t.Error("out-of-range kill id accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{"), 0o644)
-	if err := run(bad, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+	if err := run(bad, false, "worst", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err == nil {
 		t.Error("malformed JSON accepted")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
 	os.WriteFile(empty, []byte("{}"), 0o644)
-	if err := run(empty, false, "worst", 0, 1, 1, 0, 0, 0, "", false); err == nil {
+	if err := run(empty, false, "worst", 0, 1, 1, 0, 0, 0, "", false, 0, 0); err == nil {
 		t.Error("instance without fields accepted")
+	}
+}
+
+func TestRunMonteCarloWallBudget(t *testing.T) {
+	// A generous budget completes all trials; the output path for the
+	// truncated campaign is covered by the sim package's cancel tests.
+	if err := run("", true, "mc", 300, 7, 1, 0, 0, 0, "", false, 2, time.Minute); err != nil {
+		t.Fatalf("run mc -wall 1m: %v", err)
 	}
 }

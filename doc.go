@@ -29,46 +29,84 @@
 //     crash failures, replica consensus) that reproduces the analytic
 //     worst case exactly and validates FP by Monte-Carlo.
 //
-// The Solve entry point routes a problem to the strongest method for its
-// platform class and labels the answer ProvablyOptimal, ExhaustivelyOptimal
-// or Heuristic, mirroring the paper's complexity landscape.
+// # Sessions
+//
+// The primary entry point is the Session: a concurrency-safe solver
+// created once per (pipeline, platform) instance via functional options,
+// which validates the instance and caches the zero-allocation evaluator
+// precomputation so every subsequent call — Solve, Pareto, TriPareto,
+// Evaluate, Simulate, MonteCarloCampaign, Bounds, MinPeriod — skips the
+// per-call setup:
+//
+//	pipe, _ := repro.NewPipeline([]float64{1, 100}, []float64{10, 1, 0})
+//	plat, _ := repro.NewCommHomogeneousPlatform(
+//	    []float64{1, 100, 100},   // speeds
+//	    []float64{0.1, 0.8, 0.8}, // failure probabilities
+//	    1,                        // bandwidth
+//	)
+//	sess, err := repro.NewSession(pipe, plat,
+//	    repro.WithWorkers(0),                    // exact fan-out: GOMAXPROCS
+//	    repro.WithDeadline(200*time.Millisecond), // per-call wall budget
+//	    repro.WithSeed(42),                      // stochastic components
+//	)
+//	res, err := sess.Solve(ctx, repro.SolveRequest{
+//	    Objective:  repro.MinimizeFailureProb,
+//	    MaxLatency: 22,
+//	})
+//
+// Every long-running Session method takes a context.Context and is
+// cancellable: the branch-and-bound enumeration, the annealing and beam
+// searches and the Monte-Carlo loops all poll the context and stop within
+// one search node of cancellation. A canceled Solve does not fail — it
+// returns the best feasible mapping found so far graded repro.Partial (a
+// Certainty distinct from ProvablyOptimal / ExhaustivelyOptimal /
+// Heuristic), falling back to a microsecond single-interval sweep when
+// cancellation struck before the search saw any candidate. Completed
+// calls are deterministic for a fixed configuration, including the worker
+// count. Sentinel errors flow through the session layer wrapped with %w:
+// test them with errors.Is(err, repro.ErrInfeasible) (proven) and
+// errors.Is(err, repro.ErrNotFound) (heuristic exhaustion, unproven).
+//
+// # Legacy per-call surface
+//
+// The package-level functions (Solve, SolveWithOptions, ParetoFront,
+// MonteCarloCampaign, ...) are kept as thin wrappers that build a
+// throwaway Session per call under context.Background(). Existing callers
+// keep compiling and get identical results; they just pay the evaluator
+// rebuild on every call and cannot cancel.
+//
+// # Serving
+//
+// cmd/pipeserve exposes the session layer as a JSON-over-HTTP service
+// (package repro/serve): POST /v1/solve takes one problem document —
+// the same schema cmd/pipemap reads — and POST /v1/solve/batch takes
+// {"problems": [...]} and fans the batch out over a bounded worker pool.
+// Each request may carry "deadlineMillis", mapped to a context deadline,
+// so an over-budget solve answers with its best-so-far mapping and
+// "partial": true instead of blocking. Warm sessions live in an LRU keyed
+// by the SHA-256 of the instance and its session options; GET /v1/stats
+// reports hit rates and GET /healthz liveness.
 //
 // # Performance
 //
 // The exact solvers run on a zero-allocation evaluation engine
 // (mapping.Evaluator): per (pipeline, platform) pair it precomputes the
 // Eq. (1)/Eq. (2) dispatch, work prefix sums and suffix latency lower
-// bounds once, and then scores candidate mappings represented as interval
-// end boundaries plus per-interval uint64 processor bitmasks without
-// touching the heap and without re-validating (enumerated candidates are
-// valid by construction; the public Evaluate path keeps validation). The
+// bounds once — once per Session rather than once per call — and then
+// scores candidate mappings represented as interval end boundaries plus
+// per-interval uint64 processor bitmasks without touching the heap. The
 // enumeration in internal/exact threads those bitmasks through the
 // recursion, prunes subtrees whose latency lower bound or monotone
 // failure-probability prefix is provably worse than the incumbent (or a
 // constraint), and fans out over worker goroutines by first-interval
-// subtree — all four exact solvers and the tri-criteria throughput
-// enumeration accept a worker count (SolveOptions.Workers, 0 =
-// GOMAXPROCS) and return identical results for every worker count. The
+// subtree; results are identical for every worker count. The
 // discrete-event simulator pools its per-run state and keeps its event
 // heap free of pointers, so Monte-Carlo sweeps are not GC-bound. Run
 // scripts/bench.sh to record the benchmark suite as a BENCH_<date>.json
-// snapshot.
+// snapshot; BenchmarkSessionReuse quantifies the session-reuse saving
+// against the per-call wrappers.
 //
-// Quick start:
-//
-//	p, _ := repro.NewPipeline([]float64{1, 100}, []float64{10, 1, 0})
-//	pl, _ := repro.NewCommHomogeneousPlatform(
-//	    []float64{1, 100, 100},   // speeds
-//	    []float64{0.1, 0.8, 0.8}, // failure probabilities
-//	    1,                        // bandwidth
-//	)
-//	res, err := repro.Solve(repro.Problem{
-//	    Pipeline:   p,
-//	    Platform:   pl,
-//	    Objective:  repro.MinimizeFailureProb,
-//	    MaxLatency: 22,
-//	})
-//
-// See examples/ for complete programs and EXPERIMENTS.md for the
-// reproduction of every result in the paper.
+// See examples/ for complete programs (examples/quickstart walks the
+// session API end to end) and EXPERIMENTS.md for the reproduction of
+// every result in the paper.
 package repro

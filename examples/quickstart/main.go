@@ -1,4 +1,5 @@
-// Quickstart: solve the paper's Figure 5 instance through the public API.
+// Quickstart: solve the paper's Figure 5 instance through the session
+// API.
 //
 // A two-stage pipeline (a cheap stage followed by an expensive one) must
 // run on one slow-but-reliable processor and ten fast-but-unreliable ones.
@@ -7,11 +8,20 @@
 // the cheap stage alone on the reliable processor and replicates the
 // expensive stage on all ten fast processors, cutting the failure
 // probability below 20% at exactly the latency budget.
+//
+// The program creates one Session for the instance and issues every query
+// through it — the solve, the latency-optimum comparison, a simulator
+// cross-check and a Monte-Carlo campaign — so the instance is validated
+// and the evaluator precomputed exactly once. It also demonstrates the
+// deadline behavior: a context cancelled before the solve still returns a
+// best-effort mapping, graded Partial instead of optimal.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -38,10 +48,16 @@ func main() {
 	fmt.Println("application:", pipe)
 	fmt.Println("platform:   ", plat)
 
+	// One session per instance: validation and the evaluator
+	// precomputation happen here, once, instead of on every call.
+	sess, err := repro.NewSession(pipe, plat, repro.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	// Minimize the failure probability under the latency budget.
-	res, err := repro.Solve(repro.Problem{
-		Pipeline:   pipe,
-		Platform:   plat,
+	res, err := sess.Solve(ctx, repro.SolveRequest{
 		Objective:  repro.MinimizeFailureProb,
 		MaxLatency: 22,
 	})
@@ -53,12 +69,9 @@ func main() {
 	fmt.Printf("failure prob: %.4g\n", res.Metrics.FailureProb)
 	fmt.Printf("method:       %s (%s)\n", res.Method, res.Certainty)
 
-	// Compare with the best the fastest processor alone can do.
-	fastest, err := repro.Solve(repro.Problem{
-		Pipeline:  pipe,
-		Platform:  plat,
-		Objective: repro.MinimizeLatency,
-	})
+	// Compare with the best the fastest processor alone can do — the
+	// session reuses the cached evaluator state for this second solve.
+	fastest, err := sess.Solve(ctx, repro.SolveRequest{Objective: repro.MinimizeLatency})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,9 +79,34 @@ func main() {
 		fastest.Metrics.Latency, fastest.Metrics.FailureProb)
 
 	// Cross-check the analytic metrics on the simulator substrate.
-	simRes, err := repro.Simulate(pipe, plat, res.Mapping, repro.SimConfig{Mode: repro.WorstCase})
+	simRes, err := sess.Simulate(ctx, res.Mapping, repro.SimConfig{Mode: repro.WorstCase})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsimulated worst-case latency: %.4g (matches the analytic formula)\n", simRes.MaxLatency)
+
+	// Validate the failure probability empirically: a parallel
+	// Monte-Carlo campaign with the session's deterministic seed.
+	mc, err := sess.MonteCarloCampaign(ctx, res.Mapping, repro.SimConfig{}, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte-Carlo FP over %d trials: %.4g (analytic %.4g)\n",
+		mc.Trials, mc.FailureRate, res.Metrics.FailureProb)
+
+	// Deadline-aware solving: a context that is already cancelled cannot
+	// block — the session answers with its best-so-far mapping, graded
+	// Partial instead of optimal. In cmd/pipeserve the same mechanism
+	// backs the per-request "deadlineMillis" field.
+	cancelled, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	partial, err := sess.Solve(cancelled, repro.SolveRequest{
+		Objective:  repro.MinimizeFailureProb,
+		MaxLatency: 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunder an expired deadline: %s mapping %v (FP %.4g)\n",
+		partial.Certainty, partial.Mapping, partial.Metrics.FailureProb)
 }

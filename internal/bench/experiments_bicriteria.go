@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -99,8 +100,8 @@ func E10HeuristicsOpenCase() *Table {
 		}
 		pr := &heuristics.Problem{Pipe: inst.Pipeline, Plat: inst.Platform, Goal: heuristics.MinFP, Bound: L}
 		sweep, errS := heuristics.SingleIntervalSweep(pr)
-		greedy, errG := heuristics.Greedy(pr)
-		anneal, errA := heuristics.Anneal(pr, heuristics.AnnealConfig{Seed: int64(trial + 1), Iters: 1500, Restarts: 3})
+		greedy, errG := heuristics.Greedy(context.Background(), pr)
+		anneal, errA := heuristics.Anneal(context.Background(), pr, heuristics.AnnealConfig{Seed: int64(trial + 1), Iters: 1500, Restarts: 3})
 		total++
 		match := errG == nil && greedy.Metrics.FailureProb <= ex.Metrics.FailureProb+1e-9
 		if match {

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -79,6 +80,10 @@ const (
 	// Heuristic: best mapping found by the heuristic search; optimality
 	// is not guaranteed (the underlying problem is NP-hard or open).
 	Heuristic
+	// Partial: the solve was canceled (context deadline or explicit
+	// cancellation) before the search completed; the result is the best
+	// feasible mapping found so far and carries no optimality claim.
+	Partial
 )
 
 func (c Certainty) String() string {
@@ -87,6 +92,8 @@ func (c Certainty) String() string {
 		return "provably optimal"
 	case ExhaustivelyOptimal:
 		return "exhaustively optimal"
+	case Partial:
+		return "partial (canceled)"
 	default:
 		return "heuristic"
 	}
@@ -112,7 +119,11 @@ var ErrNotFound = errors.New("core: no feasible mapping found (heuristic search;
 // Options tunes the solver.
 type Options struct {
 	// ExactBudget is the largest interval-mapping count for which the
-	// exact enumerator is used on the hard classes (default 200000).
+	// exact enumerator is used on the hard classes (default 5,000,000).
+	// The pruned branch-and-bound engine solves instances of that size in
+	// well under a second on commodity hardware (the 1.94M-mapping Figure 5
+	// instance enumerates in ~2 ms), so the default is set by answer
+	// latency, not by enumeration feasibility.
 	ExactBudget float64
 	// Workers is the goroutine count for the exact enumeration fan-out
 	// (0 = GOMAXPROCS, 1 = sequential). Forwarded to exact.Options.Workers;
@@ -122,13 +133,18 @@ type Options struct {
 	Anneal heuristics.AnnealConfig
 	// ForceHeuristic skips exact enumeration even on small instances.
 	ForceHeuristic bool
+	// Eval, when non-nil, is a prebuilt evaluator for the problem's
+	// (pipeline, platform) pair; long-lived sessions use it to amortize the
+	// evaluator precomputation across calls. It is forwarded to the exact
+	// solvers, which otherwise rebuild it per call.
+	Eval *mapping.Evaluator
 }
 
 func (o Options) exactBudget() float64 {
 	if o.ExactBudget > 0 {
 		return o.ExactBudget
 	}
-	return 200_000
+	return 5_000_000
 }
 
 // Solve routes the problem with default options.
@@ -136,13 +152,28 @@ func Solve(pr Problem) (Result, error) { return SolveWithOptions(pr, Options{}) 
 
 // SolveWithOptions routes the problem to the strongest applicable method.
 func SolveWithOptions(pr Problem, opts Options) (Result, error) {
+	return SolveCtx(context.Background(), pr, opts)
+}
+
+// SolveCtx is SolveWithOptions under a context: the exact enumeration,
+// the annealing/greedy fallbacks and the beam search all poll ctx and
+// stop early when it is done. A canceled solve returns the best feasible
+// mapping found so far graded Partial (falling back to a fast
+// single-interval sweep when cancellation struck before the search saw
+// any candidate); the error is non-nil only when no feasible mapping
+// could be produced at all. Uncanceled solves are deterministic and
+// behave exactly like SolveWithOptions.
+func SolveCtx(ctx context.Context, pr Problem, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(pr); err != nil {
 		return Result{}, err
 	}
 	if pr.Objective == MinimizeFailureProb {
-		return solveMinFP(pr, opts)
+		return solveMinFP(ctx, pr, opts)
 	}
-	return solveMinLatency(pr, opts)
+	return solveMinLatency(ctx, pr, opts)
 }
 
 func validate(pr Problem) error {
@@ -172,7 +203,7 @@ func (pr Problem) fpUnconstrained() bool {
 	return pr.MaxFailProb == 0 || pr.MaxFailProb == 1
 }
 
-func solveMinFP(pr Problem, opts Options) (Result, error) {
+func solveMinFP(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	// Unconstrained: Theorem 1 on every platform class.
 	if pr.latencyUnconstrained() {
 		res, err := poly.MinFailureProb(pr.Pipeline, pr.Platform)
@@ -186,7 +217,7 @@ func solveMinFP(pr Problem, opts Options) (Result, error) {
 	case cls == platform.FullyHomogeneous:
 		res, err := poly.Algorithm1(pr.Pipeline, pr.Platform, pr.MaxLatency)
 		if errors.Is(err, poly.ErrInfeasible) {
-			return Result{}, ErrInfeasible
+			return Result{}, fmt.Errorf("Algorithm 1: %w", ErrInfeasible)
 		}
 		if err != nil {
 			return Result{}, err
@@ -195,17 +226,17 @@ func solveMinFP(pr Problem, opts Options) (Result, error) {
 	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
 		res, err := poly.Algorithm3(pr.Pipeline, pr.Platform, pr.MaxLatency)
 		if errors.Is(err, poly.ErrInfeasible) {
-			return Result{}, ErrInfeasible
+			return Result{}, fmt.Errorf("Algorithm 3: %w", ErrInfeasible)
 		}
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 3 (Theorem 6)"}, nil
 	}
-	return solveHard(pr, opts)
+	return solveHard(ctx, pr, opts)
 }
 
-func solveMinLatency(pr Problem, opts Options) (Result, error) {
+func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	cls := pr.Platform.Classify()
 	if pr.fpUnconstrained() {
 		if cls == platform.FullyHomogeneous || cls == platform.CommHomogeneous {
@@ -226,16 +257,24 @@ func solveMinLatency(pr Problem, opts Options) (Result, error) {
 			return Result{bounds.Upper.Mapping, bounds.Upper.Metrics, ProvablyOptimal,
 				"Theorem 4 relaxation (general optimum is interval-shaped)"}, nil
 		}
-		res, err := solveHard(pr, opts)
+		res, err := solveHard(ctx, pr, opts)
 		if bErr == nil && (err != nil || bounds.Upper.Metrics.Latency < res.Metrics.Latency) {
-			res = Result{bounds.Upper.Mapping, bounds.Upper.Metrics, Heuristic,
+			cert := Heuristic
+			if ctx.Err() != nil {
+				cert = Partial
+			}
+			res = Result{bounds.Upper.Mapping, bounds.Upper.Metrics, cert,
 				"Theorem 4 relaxation + path repair"}
 			err = nil
 		}
 		if pr.Platform.NumProcs() <= 64 {
-			if beam, beamErr := heuristics.BeamSearchMinLatency(pr.Pipeline, pr.Platform, 32); beamErr == nil {
+			if beam, beamErr := heuristics.BeamSearchMinLatency(ctx, pr.Pipeline, pr.Platform, 32); beam.Mapping != nil {
 				if err != nil || beam.Metrics.Latency < res.Metrics.Latency {
-					res = Result{beam.Mapping, beam.Metrics, Heuristic, "beam search over interval prefixes"}
+					cert := Heuristic
+					if beamErr != nil { // canceled mid-search: best-so-far
+						cert = Partial
+					}
+					res = Result{beam.Mapping, beam.Metrics, cert, "beam search over interval prefixes"}
 					err = nil
 				}
 			}
@@ -246,7 +285,7 @@ func solveMinLatency(pr Problem, opts Options) (Result, error) {
 	case cls == platform.FullyHomogeneous:
 		res, err := poly.Algorithm2(pr.Pipeline, pr.Platform, pr.MaxFailProb)
 		if errors.Is(err, poly.ErrInfeasible) {
-			return Result{}, ErrInfeasible
+			return Result{}, fmt.Errorf("Algorithm 2: %w", ErrInfeasible)
 		}
 		if err != nil {
 			return Result{}, err
@@ -255,22 +294,31 @@ func solveMinLatency(pr Problem, opts Options) (Result, error) {
 	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
 		res, err := poly.Algorithm4(pr.Pipeline, pr.Platform, pr.MaxFailProb)
 		if errors.Is(err, poly.ErrInfeasible) {
-			return Result{}, ErrInfeasible
+			return Result{}, fmt.Errorf("Algorithm 4: %w", ErrInfeasible)
 		}
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 4 (Theorem 6)"}, nil
 	}
-	return solveHard(pr, opts)
+	return solveHard(ctx, pr, opts)
 }
 
 // solveHard handles the open and NP-hard classes: the bitmask dynamic
 // program on communication-homogeneous platforms with few processors,
 // exact enumeration when the instance is small enough, and greedy +
-// annealing otherwise.
-func solveHard(pr Problem, opts Options) (Result, error) {
+// annealing otherwise. Cancellation during the exact enumeration yields
+// the incumbent graded Partial; when the context fired before any
+// candidate was seen, a fast single-interval sweep provides the
+// best-effort answer.
+func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	n, m := pr.Pipeline.NumStages(), pr.Platform.NumProcs()
+	// An already-done context must not start a new search phase — not
+	// even the polynomial DP, which is fast but not interruptible once
+	// running. Serve the sweep-based best-effort answer immediately.
+	if ctx.Err() != nil {
+		return solvePartialFallback(pr, fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(ctx)))
+	}
 	if !opts.ForceHeuristic {
 		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs {
 			res, err := solveBitmaskDP(pr)
@@ -279,14 +327,31 @@ func solveHard(pr Problem, opts Options) (Result, error) {
 			}
 		}
 		if EstimateMappingCount(n, m) <= opts.exactBudget() {
-			res, err := solveExact(pr, opts)
+			res, err := solveExact(ctx, pr, opts)
 			if err == nil || errors.Is(err, ErrInfeasible) {
 				return res, err
+			}
+			if errors.Is(err, exact.ErrCanceled) {
+				return solvePartialFallback(pr, err)
 			}
 			// Enumeration failed for another reason: fall through.
 		}
 	}
-	return solveHeuristic(pr, opts)
+	return solveHeuristic(ctx, pr, opts)
+}
+
+// solvePartialFallback produces a best-effort answer after a cancellation
+// that left the exact search without any incumbent: the single-interval
+// sweep costs microseconds, honors the constraint, and on the easy
+// platform classes even contains the true optimum. cancelErr wraps the
+// context's cause; it is propagated (together with ErrNotFound) when even
+// the sweep sees no feasible mapping.
+func solvePartialFallback(pr Problem, cancelErr error) (Result, error) {
+	hp := heuristicProblem(pr)
+	if sweep, err := heuristics.SingleIntervalSweep(hp); err == nil {
+		return Result{sweep.Mapping, sweep.Metrics, Partial, "single-interval sweep (canceled before search)"}, nil
+	}
+	return Result{}, fmt.Errorf("%w: %w", ErrNotFound, cancelErr)
 }
 
 // solveBitmaskDP routes to the O(n²·3^m) exact dynamic program for
@@ -307,7 +372,7 @@ func solveBitmaskDP(pr Problem) (Result, error) {
 		method = "bitmask DP (min latency s.t. FP)"
 	}
 	if errors.Is(err, exact.ErrInfeasible) {
-		return Result{}, ErrInfeasible
+		return Result{}, fmt.Errorf("%s: %w", method, ErrInfeasible)
 	}
 	if err != nil {
 		return Result{}, err
@@ -315,8 +380,8 @@ func solveBitmaskDP(pr Problem) (Result, error) {
 	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
 }
 
-func solveExact(pr Problem, opts Options) (Result, error) {
-	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers}
+func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
+	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval}
 	var res exact.Result
 	var err error
 	var method string
@@ -331,8 +396,14 @@ func solveExact(pr Problem, opts Options) (Result, error) {
 		res, err = exact.MinLatencyUnderFP(pr.Pipeline, pr.Platform, bound, exOpts)
 		method = "exhaustive search (min latency s.t. FP)"
 	}
+	if errors.Is(err, exact.ErrCanceled) {
+		if res.Mapping != nil {
+			return Result{res.Mapping, res.Metrics, Partial, method + " (canceled: best-so-far)"}, nil
+		}
+		return Result{}, err
+	}
 	if errors.Is(err, exact.ErrInfeasible) {
-		return Result{}, ErrInfeasible
+		return Result{}, fmt.Errorf("%s: %w", method, ErrInfeasible)
 	}
 	if err != nil {
 		return Result{}, err
@@ -340,7 +411,9 @@ func solveExact(pr Problem, opts Options) (Result, error) {
 	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
 }
 
-func solveHeuristic(pr Problem, opts Options) (Result, error) {
+// heuristicProblem translates the core problem into the heuristics
+// package's goal/bound form.
+func heuristicProblem(pr Problem) *heuristics.Problem {
 	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform}
 	if pr.Objective == MinimizeFailureProb {
 		hp.Goal = heuristics.MinFP
@@ -352,20 +425,43 @@ func solveHeuristic(pr Problem, opts Options) (Result, error) {
 			hp.Bound = 1
 		}
 	}
+	return hp
+}
+
+func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, error) {
+	hp := heuristicProblem(pr)
 	best := Result{}
 	found := false
-	if g, err := heuristics.Greedy(hp); err == nil {
-		best = Result{g.Mapping, g.Metrics, Heuristic, "greedy local improvement"}
+	// The ctx-aware searches return their best-so-far result alongside a
+	// non-nil error when canceled; any mapping they produced is usable.
+	if g, err := heuristics.Greedy(ctx, hp); g.Mapping != nil {
+		cert := Heuristic
+		if err != nil {
+			cert = Partial
+		}
+		best = Result{g.Mapping, g.Metrics, cert, "greedy local improvement"}
 		found = true
 	}
-	if a, err := heuristics.Anneal(hp, opts.Anneal); err == nil {
+	if a, err := heuristics.Anneal(ctx, hp, opts.Anneal); a.Mapping != nil {
 		if !found || better(pr, a.Metrics, best.Metrics) {
-			best = Result{a.Mapping, a.Metrics, Heuristic, "simulated annealing"}
+			cert := Heuristic
+			if err != nil {
+				cert = Partial
+			}
+			best = Result{a.Mapping, a.Metrics, cert, "simulated annealing"}
 			found = true
 		}
 	}
 	if !found {
-		return Result{}, ErrNotFound
+		if cause := context.Cause(ctx); cause != nil {
+			return Result{}, fmt.Errorf("%w: %w", ErrNotFound, cause)
+		}
+		return Result{}, fmt.Errorf("greedy + annealing: %w", ErrNotFound)
+	}
+	// Even when one component finished cleanly, a done context means the
+	// search pipeline as a whole was truncated: the answer is best-effort.
+	if ctx.Err() != nil {
+		best.Certainty = Partial
 	}
 	return best, nil
 }
@@ -390,17 +486,38 @@ func MinLatencyGeneral(p *pipeline.Pipeline, pl *platform.Platform) (poly.Genera
 	return poly.MinLatencyGeneral(p, pl), nil
 }
 
-// EstimateMappingCount approximates the number of interval mappings of n
-// stages on m processors (with replication): Σ_p C(n−1, p−1)·S(p, m)
-// where S(p, m) counts assignments of disjoint non-empty replica sets,
-// upper-bounded here by (p+1)^m. Used to decide exact-vs-heuristic.
+// EstimateMappingCount returns the number of interval mappings of n
+// stages on m processors with replication: Σ_p C(n−1, p−1)·A(p, m), where
+// A(p, m) = Σ_i (−1)^i C(p, i)·(p+1−i)^m counts (by inclusion–exclusion
+// over empty intervals) the assignments of each processor to one of the p
+// intervals or to none, with every interval non-empty. Used to decide
+// exact-vs-heuristic routing against Options.ExactBudget.
+//
+// Earlier revisions upper-bounded A(p, m) by (p+1)^m, which overshoots by
+// orders of magnitude for p close to m and made the router fall back to
+// heuristics on instances the pruned enumerator dispatches in
+// milliseconds; the count here is exact (up to float64 rounding), so the
+// budget now measures real enumeration work.
 func EstimateMappingCount(n, m int) float64 {
 	total := 0.0
 	for p := 1; p <= n && p <= m; p++ {
-		total += binom(n-1, p-1) * math.Pow(float64(p+1), float64(m))
+		total += binom(n-1, p-1) * surjectiveAssignments(p, m)
 		if total > 1e18 {
 			return total
 		}
+	}
+	return total
+}
+
+// surjectiveAssignments counts the ways to give each of m processors one
+// of p interval labels or the "unused" label such that no interval label
+// is missing.
+func surjectiveAssignments(p, m int) float64 {
+	total := 0.0
+	sign := 1.0
+	for i := 0; i <= p; i++ {
+		total += sign * binom(p, i) * math.Pow(float64(p+1-i), float64(m))
+		sign = -sign
 	}
 	return total
 }
@@ -419,6 +536,18 @@ func binom(n, k int) float64 {
 // Pareto computes the latency/FP trade-off front: exhaustively on small
 // instances, by annealing archive otherwise.
 func Pareto(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (*frontier.Front, Certainty, error) {
+	return ParetoCtx(context.Background(), p, pl, opts)
+}
+
+// ParetoCtx is Pareto under a context. A canceled enumeration returns the
+// non-dominated set of the candidates visited so far graded Partial (the
+// metric points are genuine mappings, but the front may be incomplete);
+// the heuristic fallback is graded Partial likewise when its annealing
+// walks were cut short.
+func ParetoCtx(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, opts Options) (*frontier.Front, Certainty, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -427,15 +556,27 @@ func Pareto(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (*frontie
 	}
 	n, m := p.NumStages(), pl.NumProcs()
 	if !opts.ForceHeuristic && EstimateMappingCount(n, m) <= opts.exactBudget() {
-		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers})
-		if err == nil {
+		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval})
+		if err == nil || (errors.Is(err, exact.ErrCanceled) && len(results) > 0) {
 			front := &frontier.Front{}
 			for _, r := range results {
 				front.Insert(r.Metrics, r.Mapping)
 			}
+			if err != nil {
+				return front, Partial, nil
+			}
 			return front, ExhaustivelyOptimal, nil
 		}
 	}
-	front := heuristics.ParetoSearch(&heuristics.Problem{Pipe: p, Plat: pl}, opts.Anneal)
+	front := heuristics.ParetoSearch(ctx, &heuristics.Problem{Pipe: p, Plat: pl}, opts.Anneal)
+	if ctx.Err() != nil {
+		// A truncated sweep that archived nothing is a failure, not an
+		// empty trade-off curve: mirror Solve's contract (result or
+		// error, never a silent empty success).
+		if front.Len() == 0 {
+			return nil, 0, fmt.Errorf("core: pareto canceled before any feasible mapping: %w", context.Cause(ctx))
+		}
+		return front, Partial, nil
+	}
 	return front, Heuristic, nil
 }

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -49,10 +50,12 @@ type engine struct {
 	replication bool
 	commHom     bool
 
+	ctx        context.Context // nil: never canceled
 	budget     int64
 	counter    atomic.Int64 // complete mappings evaluated
 	abort      atomic.Bool
 	overBudget atomic.Bool
+	canceled   atomic.Bool
 
 	nextTask   atomic.Int64
 	totalTasks int64
@@ -71,6 +74,7 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 		n:           n,
 		m:           m,
 		replication: opts.Replication,
+		ctx:         opts.Ctx,
 		budget:      opts.maxEnum(),
 	}
 	if ev != nil {
@@ -99,12 +103,32 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 // run drains the task space with the given worker count. newWorker is
 // invoked once per worker (with indices 0..workers-1) and returns that
 // worker's prune and visit hooks; prune may be nil.
+//
+// When the engine carries a cancellable context, a watcher goroutine
+// flips the abort flag as soon as the context is done; every worker
+// checks that flag at each search node, so cancellation latency is one
+// node expansion, not one subtree. A canceled run returns an error
+// wrapping both ErrCanceled and the context's cause.
 func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) error {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
 	if int64(workers) > g.totalTasks {
 		workers = int(g.totalTasks)
+	}
+	var stopWatch chan struct{}
+	if g.ctx != nil {
+		if done := g.ctx.Done(); done != nil {
+			stopWatch = make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+					g.canceled.Store(true)
+					g.abort.Store(true)
+				case <-stopWatch:
+				}
+			}()
+		}
 	}
 	if workers <= 1 {
 		prune, visit := newWorker(0)
@@ -120,6 +144,12 @@ func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) 
 			}()
 		}
 		wg.Wait()
+	}
+	if stopWatch != nil {
+		close(stopWatch)
+	}
+	if g.canceled.Load() {
+		return canceledErr(g.ctx)
 	}
 	if g.overBudget.Load() {
 		return ErrBudget

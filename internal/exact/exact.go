@@ -17,6 +17,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,14 @@ var ErrBudget = errors.New("exact: enumeration budget exceeded")
 // constraint.
 var ErrInfeasible = errors.New("exact: no mapping satisfies the constraint")
 
+// ErrCanceled is returned when Options.Ctx was canceled before the
+// enumeration completed. Errors carrying it also wrap the context's cause,
+// so errors.Is works against both ErrCanceled and context.Canceled /
+// context.DeadlineExceeded. The four interval-mapping solvers return their
+// best-so-far incumbent alongside this error when one was found; such a
+// result is feasible but not proven optimal.
+var ErrCanceled = errors.New("exact: enumeration canceled")
+
 // Options tunes the enumeration.
 type Options struct {
 	// Replication enumerates every assignment of disjoint processor
@@ -53,6 +62,17 @@ type Options struct {
 	// GOMAXPROCS, 1 forces a sequential search. Results are identical for
 	// every worker count.
 	Workers int
+	// Ctx cancels the enumeration early: when it is done, every worker
+	// aborts at its next search node and the solvers return the best
+	// incumbent found so far wrapped in ErrCanceled. nil means
+	// context.Background() (never canceled). Results remain deterministic
+	// whenever the enumeration runs to completion.
+	Ctx context.Context
+	// Eval, when non-nil, is a prebuilt evaluator for the same
+	// (pipeline, platform) pair, letting long-lived sessions amortize the
+	// precomputation across calls. The caller is responsible for the pair
+	// actually matching the solver arguments.
+	Eval *mapping.Evaluator
 }
 
 func (o Options) maxEnum() int64 {
@@ -60,6 +80,20 @@ func (o Options) maxEnum() int64 {
 		return o.MaxEnum
 	}
 	return 5_000_000
+}
+
+// evaluator returns the cached evaluator when the caller supplied one and
+// builds (validating the instance) otherwise.
+func (o Options) evaluator(p *pipeline.Pipeline, pl *platform.Platform) (*mapping.Evaluator, error) {
+	if o.Eval != nil {
+		return o.Eval, nil
+	}
+	return mapping.NewEvaluator(p, pl)
+}
+
+// canceledErr wraps both ErrCanceled and the context's cancellation cause.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
 }
 
 // WorkerCount resolves Workers to the effective goroutine count.
@@ -93,6 +127,11 @@ func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) e
 	budget := opts.maxEnum()
 	count := int64(0)
 	stopped := false
+	canceled := false
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 
 	intervals := make([]mapping.Interval, 0, n)
 	// assign[u] = interval index of processor u, or -1 when unused.
@@ -112,6 +151,14 @@ func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) e
 			}
 		}
 		count++
+		if done != nil && count&1023 == 0 {
+			select {
+			case <-done:
+				canceled = true
+				return false
+			default:
+			}
+		}
 		if count > budget {
 			return false
 		}
@@ -177,7 +224,11 @@ func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) e
 	if n <= 0 || m <= 0 {
 		return fmt.Errorf("exact: need n>0 and m>0, got n=%d m=%d", n, m)
 	}
-	if !split(0) && !stopped && count > budget {
+	finished := split(0)
+	if canceled {
+		return canceledErr(opts.Ctx)
+	}
+	if !finished && !stopped && count > budget {
 		return ErrBudget
 	}
 	return nil
@@ -230,6 +281,28 @@ func cmpLatencyThenFP(a, b mapping.Metrics) int {
 func objLatency(m mapping.Metrics) float64 { return m.Latency }
 func objFP(m mapping.Metrics) float64      { return m.FailureProb }
 
+// finish translates the engine outcome plus the incumbent into the solver
+// result: after a clean run the incumbent is the proven optimum
+// (ErrInfeasible when empty); after a canceled run the incumbent — when
+// one was found — is returned as best-so-far alongside the ErrCanceled
+// error, so callers can grade it as a partial answer.
+func finish(inc *incumbent, ev *mapping.Evaluator, runErr error) (Result, error) {
+	if runErr != nil && !errors.Is(runErr, ErrCanceled) {
+		return Result{}, runErr
+	}
+	res, err := inc.result(ev)
+	if runErr != nil {
+		if err != nil {
+			return Result{}, runErr
+		}
+		return res, runErr
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("interval enumeration: %w", err)
+	}
+	return res, nil
+}
+
 // maxReplicationProcs bounds m for the bitmask engine's replication
 // enumeration (task indices pack end·(2^m−1)+subset into an int64).
 const maxReplicationProcs = 62
@@ -247,7 +320,7 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 	if useWideFallback(pl.NumProcs(), opts.Replication) {
 		return minLatencyIntervalWide(p, pl, opts)
 	}
-	ev, err := mapping.NewEvaluator(p, pl)
+	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -256,7 +329,7 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 		return Result{}, err
 	}
 	inc := newIncumbent(p.NumStages(), cmpLatency, objLatency)
-	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, _ float64) bool {
 			return latencyStrictlyWorse(lb, inc.bound.load())
 		}
@@ -266,10 +339,7 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 		}
 		return prune, visit
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	return inc.result(ev)
+	return finish(inc, ev, runErr)
 }
 
 // MinFPUnderLatency finds the interval mapping of minimum failure
@@ -283,7 +353,7 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 	if useWideFallback(pl.NumProcs(), true) {
 		return minFPUnderLatencyWide(p, pl, maxLatency, opts)
 	}
-	ev, err := mapping.NewEvaluator(p, pl)
+	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -292,7 +362,7 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 		return Result{}, err
 	}
 	inc := newIncumbent(p.NumStages(), cmpFPThenLatency, objFP)
-	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, prefixFP float64) bool {
 			return latencyStrictlyWorse(lb, maxLatency) || prefixFP > inc.bound.load()
 		}
@@ -304,10 +374,7 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 		}
 		return prune, visit
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	return inc.result(ev)
+	return finish(inc, ev, runErr)
 }
 
 // MinLatencyUnderFP finds the interval mapping of minimum latency among
@@ -318,7 +385,7 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 	if useWideFallback(pl.NumProcs(), true) {
 		return minLatencyUnderFPWide(p, pl, maxFailureProb, opts)
 	}
-	ev, err := mapping.NewEvaluator(p, pl)
+	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -327,7 +394,7 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 		return Result{}, err
 	}
 	inc := newIncumbent(p.NumStages(), cmpLatencyThenFP, objLatency)
-	err = g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
+	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, prefixFP float64) bool {
 			return prefixFP > maxFailureProb+1e-12 || latencyStrictlyWorse(lb, inc.bound.load())
 		}
@@ -339,10 +406,7 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 		}
 		return prune, visit
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	return inc.result(ev)
+	return finish(inc, ev, runErr)
 }
 
 // ParetoFront enumerates all interval mappings (with replication) and
@@ -357,7 +421,7 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 	if useWideFallback(pl.NumProcs(), true) {
 		return paretoFrontWide(p, pl, opts)
 	}
-	ev, err := mapping.NewEvaluator(p, pl)
+	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +432,7 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 	}
 	workers := opts.WorkerCount()
 	fronts := make([]*frontier.Front, workers)
-	err = g.run(workers, func(w int) (pruneFunc, visitFunc) {
+	runErr := g.run(workers, func(w int) (pruneFunc, visitFunc) {
 		f := &frontier.Front{}
 		fronts[w] = f
 		scratch := &mapping.Mapping{
@@ -391,8 +455,8 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 		}
 		return prune, visit
 	})
-	if err != nil {
-		return nil, err
+	if runErr != nil && !errors.Is(runErr, ErrCanceled) {
+		return nil, runErr
 	}
 	merged := &frontier.Front{}
 	for _, f := range fronts {
@@ -409,7 +473,9 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 	for _, e := range merged.Entries() {
 		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
 	}
-	return results, nil
+	// A canceled enumeration still surfaces the partial front so callers
+	// can serve it as a best-effort answer.
+	return results, runErr
 }
 
 // ---------------------------------------------------------------------------
@@ -430,11 +496,21 @@ func minLatencyIntervalWide(p *pipeline.Pipeline, pl *platform.Platform, opts Op
 		}
 		return true
 	})
-	if err != nil {
-		return Result{}, err
+	return finishWide(best, err)
+}
+
+// finishWide mirrors finish for the slice-based fallbacks: a canceled run
+// still returns the best mapping seen so far (when any) alongside the
+// ErrCanceled error.
+func finishWide(best Result, runErr error) (Result, error) {
+	if runErr != nil {
+		if errors.Is(runErr, ErrCanceled) && best.Mapping != nil {
+			return best, runErr
+		}
+		return Result{}, runErr
 	}
 	if best.Mapping == nil {
-		return Result{}, ErrInfeasible
+		return Result{}, fmt.Errorf("interval enumeration: %w", ErrInfeasible)
 	}
 	return best, nil
 }
@@ -455,13 +531,7 @@ func minFPUnderLatencyWide(p *pipeline.Pipeline, pl *platform.Platform, maxLaten
 		}
 		return true
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	if best.Mapping == nil {
-		return Result{}, ErrInfeasible
-	}
-	return best, nil
+	return finishWide(best, err)
 }
 
 func minLatencyUnderFPWide(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
@@ -480,13 +550,7 @@ func minLatencyUnderFPWide(p *pipeline.Pipeline, pl *platform.Platform, maxFailu
 		}
 		return true
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	if best.Mapping == nil {
-		return Result{}, ErrInfeasible
-	}
-	return best, nil
+	return finishWide(best, err)
 }
 
 func paretoFrontWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
@@ -499,14 +563,14 @@ func paretoFrontWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) 
 		front.Insert(met, mp)
 		return true
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrCanceled) {
 		return nil, err
 	}
 	results := make([]Result, 0, front.Len())
 	for _, e := range front.Entries() {
 		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
 	}
-	return results, nil
+	return results, err
 }
 
 func sortResultsByLatency(rs []Result) {

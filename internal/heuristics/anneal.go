@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -45,9 +46,16 @@ func (c AnnealConfig) withDefaults() AnnealConfig {
 // mappings. Infeasible states are admitted during the walk (with a large
 // penalty) so the search can cross infeasible ridges; only feasible states
 // are recorded. HillClimb is the InitTemp→0 special case.
-func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
+//
+// The walk polls ctx every few iterations: on cancellation it stops and
+// returns the best feasible mapping found so far together with an error
+// wrapping the context's cause (or just the error when nothing feasible
+// was seen). An uncanceled run is deterministic for a fixed config.
+func Anneal(ctx context.Context, pr *Problem, cfg AnnealConfig) (Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	done := ctxDone(ctx)
+	canceled := false
 
 	best := Result{}
 	found := false
@@ -86,6 +94,7 @@ func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
 		return 2 + refMet.Latency/latScale + (met.FailureProb - pr.Bound)
 	}
 
+restarts:
 	for r := 0; r < cfg.Restarts; r++ {
 		cur := randomState(rng, pr)
 		curMet, ok := pr.evaluate(cur)
@@ -96,6 +105,14 @@ func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
 		curCost := cost(curMet)
 		temp := cfg.InitTemp
 		for it := 0; it < cfg.Iters; it++ {
+			if done != nil && it&31 == 0 {
+				select {
+				case <-done:
+					canceled = true
+					break restarts
+				default:
+				}
+			}
 			next := neighbor(rng, pr, cur)
 			if next == nil {
 				temp *= cfg.Cooling
@@ -114,6 +131,12 @@ func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
 			temp *= cfg.Cooling
 		}
 	}
+	if canceled {
+		if !found {
+			return Result{}, canceledErr(ctx)
+		}
+		return best, canceledErr(ctx)
+	}
 	if !found {
 		return Result{}, ErrNotFound
 	}
@@ -122,11 +145,11 @@ func Anneal(pr *Problem, cfg AnnealConfig) (Result, error) {
 
 // HillClimb is Anneal at zero temperature: only strictly improving moves
 // are accepted. It keeps the restarts/iterations of cfg.
-func HillClimb(pr *Problem, cfg AnnealConfig) (Result, error) {
+func HillClimb(ctx context.Context, pr *Problem, cfg AnnealConfig) (Result, error) {
 	cfg = cfg.withDefaults()
 	cfg.InitTemp = 1e-300 // effectively zero: exp(-Δ/T) vanishes for any Δ>0
 	cfg.Cooling = 0.999999
-	return Anneal(pr, cfg)
+	return Anneal(ctx, pr, cfg)
 }
 
 func accept(rng *rand.Rand, cur, next, temp float64) bool {
@@ -269,19 +292,20 @@ func sortInts(s []int) {
 // ParetoSearch runs Anneal once per goal direction with an archive and
 // returns the combined Pareto front of all feasible mappings encountered.
 // The bounds are set wide open so the archive explores the whole
-// trade-off curve.
-func ParetoSearch(pr *Problem, cfg AnnealConfig) *frontier.Front {
+// trade-off curve. On cancellation the front holds whatever the walks
+// archived before ctx fired; callers should check ctx.Err() to grade it.
+func ParetoSearch(ctx context.Context, pr *Problem, cfg AnnealConfig) *frontier.Front {
 	front := &frontier.Front{}
 	cfg = cfg.withDefaults()
 	cfg.Archive = front
 	wide := *pr
 	wide.Goal = MinFP
 	wide.Bound = math.Inf(1)
-	Anneal(&wide, cfg)
+	Anneal(ctx, &wide, cfg)
 	wide2 := *pr
 	wide2.Goal = MinLatency
 	wide2.Bound = 1
 	cfg.Seed++
-	Anneal(&wide2, cfg)
+	Anneal(ctx, &wide2, cfg)
 	return front
 }

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,7 +25,13 @@ import (
 // state's cost is the latency accumulated up to its cut, excluding the
 // pending outgoing communication (charged on expansion, when the next
 // processor is known), so states at the same boundary are comparable.
-func BeamSearchMinLatency(p *pipeline.Pipeline, pl *platform.Platform, beamWidth int) (Result, error) {
+//
+// ctx is polled once per stage boundary: on cancellation the search stops
+// expanding and finalizes over the complete states it has already reached
+// (single-interval completions exist after the first boundary), returning
+// that best-so-far mapping alongside an error wrapping the context's
+// cause — or just the error when no complete state exists yet.
+func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, beamWidth int) (Result, error) {
 	n, m := p.NumStages(), pl.NumProcs()
 	if m > 64 {
 		return Result{}, fmt.Errorf("heuristics: beam search supports m ≤ 64, got %d", m)
@@ -52,7 +59,19 @@ func BeamSearchMinLatency(p *pipeline.Pipeline, pl *platform.Platform, beamWidth
 		return states[:beamWidth]
 	}
 
+	done := ctxDone(ctx)
+	canceled := false
 	for boundary := 0; boundary < n; boundary++ {
+		if done != nil {
+			select {
+			case <-done:
+				canceled = true
+			default:
+			}
+			if canceled {
+				break
+			}
+		}
 		beams[boundary] = prune(beams[boundary])
 		for _, st := range beams[boundary] {
 			in := p.InputSize(boundary)
@@ -84,6 +103,9 @@ func BeamSearchMinLatency(p *pipeline.Pipeline, pl *platform.Platform, beamWidth
 
 	final := beams[n]
 	if len(final) == 0 {
+		if canceled {
+			return Result{}, canceledErr(ctx)
+		}
 		return Result{}, ErrNotFound
 	}
 	best, bestLat := -1, math.Inf(1)
@@ -106,6 +128,9 @@ func BeamSearchMinLatency(p *pipeline.Pipeline, pl *platform.Platform, beamWidth
 	met, err := mapping.Evaluate(p, pl, mp)
 	if err != nil {
 		return Result{}, err
+	}
+	if canceled {
+		return Result{Mapping: mp, Metrics: met}, canceledErr(ctx)
 	}
 	return Result{Mapping: mp, Metrics: met}, nil
 }

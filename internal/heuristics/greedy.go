@@ -1,6 +1,8 @@
 package heuristics
 
 import (
+	"context"
+
 	"repro/internal/mapping"
 )
 
@@ -22,18 +24,43 @@ import (
 // quo — e.g. the paper's Figure 5 instance, where isolating the slow
 // reliable processor only pays off once the fast stage is re-replicated
 // tenfold.
-func Greedy(pr *Problem) (Result, error) {
+// Cancellation is polled between improvement rounds: a canceled search
+// returns the best feasible mapping reached so far alongside an error
+// wrapping the context's cause.
+func Greedy(ctx context.Context, pr *Problem) (Result, error) {
 	best, err := seed(pr)
 	if err != nil {
 		return Result{}, err
 	}
-	best = saturate(pr, best)
+	done := ctxDone(ctx)
+	best = saturate(pr, best, done)
 	for {
-		improved, next := bestMove(pr, best)
+		if fired(done) {
+			return best, canceledErr(ctx)
+		}
+		improved, next := bestMove(pr, best, done)
 		if !improved {
+			if fired(done) {
+				// The round was cut short: report the truncation so the
+				// caller can grade the answer as partial.
+				return best, canceledErr(ctx)
+			}
 			return best, nil
 		}
 		best = next
+	}
+}
+
+// fired reports whether the done channel (possibly nil) is closed.
+func fired(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -63,10 +90,14 @@ func seed(pr *Problem) (Result, error) {
 
 // saturate repeatedly applies the best replica-count adjustment — additions
 // when minimizing FP, removals and merges when minimizing latency — until
-// none improves. It never changes which stages form which interval except
-// through merges in the latency goal.
-func saturate(pr *Problem, cur Result) Result {
+// none improves (or done fires, which stops at the current state). It
+// never changes which stages form which interval except through merges in
+// the latency goal.
+func saturate(pr *Problem, cur Result, done <-chan struct{}) Result {
 	for {
+		if fired(done) {
+			return cur
+		}
 		improved := false
 		best := cur
 		try := func(m *mapping.Mapping) {
@@ -109,12 +140,13 @@ func saturate(pr *Problem, cur Result) Result {
 
 // bestMove evaluates every candidate move from cur — structural moves
 // scored after saturation — and returns the best strictly improving
-// feasible successor.
-func bestMove(pr *Problem, cur Result) (bool, Result) {
+// feasible successor. When done fires mid-round the remaining candidates
+// are skipped, so cancellation latency is one candidate evaluation.
+func bestMove(pr *Problem, cur Result, done <-chan struct{}) (bool, Result) {
 	best := cur
 	improved := false
 	tryRaw := func(m *mapping.Mapping) {
-		if m == nil {
+		if m == nil || fired(done) {
 			return
 		}
 		met, ok := pr.evaluate(m)
@@ -127,7 +159,7 @@ func bestMove(pr *Problem, cur Result) (bool, Result) {
 		}
 	}
 	trySaturated := func(m *mapping.Mapping) {
-		if m == nil {
+		if m == nil || fired(done) {
 			return
 		}
 		met, ok := pr.evaluate(m)
@@ -136,12 +168,12 @@ func bestMove(pr *Problem, cur Result) (bool, Result) {
 		}
 		res := Result{Mapping: m, Metrics: met}
 		if pr.feasible(met) {
-			res = saturate(pr, res)
+			res = saturate(pr, res, done)
 		} else {
 			// Saturation can restore feasibility (e.g. dropping replicas
 			// after a split under a latency bound); try from the raw
 			// state anyway.
-			res = saturate(pr, res)
+			res = saturate(pr, res, done)
 			if !pr.feasible(res.Metrics) {
 				return
 			}

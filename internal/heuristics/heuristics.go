@@ -21,7 +21,9 @@
 package heuristics
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/mapping"
@@ -32,6 +34,24 @@ import (
 // ErrNotFound is returned when the heuristic encountered no mapping
 // satisfying the constraint.
 var ErrNotFound = errors.New("heuristics: no feasible mapping found")
+
+// canceledErr wraps the context's cancellation cause so callers can test
+// with errors.Is(err, context.Canceled) / context.DeadlineExceeded. The
+// ctx-aware searches (Anneal, Greedy, BeamSearchMinLatency) return their
+// best feasible mapping found so far alongside this error when one exists;
+// such a result is usable but carries no optimality claim.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("heuristics: search canceled: %w", context.Cause(ctx))
+}
+
+// ctxDone returns the context's done channel (nil when the context is nil
+// or not cancellable, making the select check free).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
 
 // Result mirrors poly.Result.
 type Result struct {

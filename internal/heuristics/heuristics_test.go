@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -62,7 +63,7 @@ func TestSweepFig5(t *testing.T) {
 func TestGreedyFig5(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: 22}
-	res, err := Greedy(pr)
+	res, err := Greedy(context.Background(), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestGreedyFig5(t *testing.T) {
 func TestGreedyFig34(t *testing.T) {
 	p, pl := fig34()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinLatency, Bound: 1} // FP ≤ 1: unconstrained
-	res, err := Greedy(pr)
+	res, err := Greedy(context.Background(), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +99,10 @@ func TestSweepInfeasible(t *testing.T) {
 	if _, err := SingleIntervalSweep(pr); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
-	if _, err := Greedy(pr); !errors.Is(err, ErrNotFound) {
+	if _, err := Greedy(context.Background(), pr); !errors.Is(err, ErrNotFound) {
 		t.Errorf("greedy err = %v, want ErrNotFound", err)
 	}
-	if _, err := Anneal(pr, AnnealConfig{Iters: 50, Restarts: 1}); !errors.Is(err, ErrNotFound) {
+	if _, err := Anneal(context.Background(), pr, AnnealConfig{Iters: 50, Restarts: 1}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("anneal err = %v, want ErrNotFound", err)
 	}
 }
@@ -111,7 +112,7 @@ func TestSweepInfeasible(t *testing.T) {
 func TestAnnealFig5(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: 22}
-	res, err := Anneal(pr, AnnealConfig{Seed: 3, Iters: 4000, Restarts: 4})
+	res, err := Anneal(context.Background(), pr, AnnealConfig{Seed: 3, Iters: 4000, Restarts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +137,10 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 		ex, exErr := exact.MinFPUnderLatency(p, pl, L, exact.Options{})
 		for _, solve := range []func() (Result, error){
 			func() (Result, error) { return SingleIntervalSweep(pr) },
-			func() (Result, error) { return Greedy(pr) },
-			func() (Result, error) { return Anneal(pr, AnnealConfig{Seed: seed, Iters: 300, Restarts: 2}) },
+			func() (Result, error) { return Greedy(context.Background(), pr) },
+			func() (Result, error) {
+				return Anneal(context.Background(), pr, AnnealConfig{Seed: seed, Iters: 300, Restarts: 2})
+			},
 		} {
 			res, err := solve()
 			if err != nil {
@@ -175,7 +178,7 @@ func TestGreedyDominatesSweep(t *testing.T) {
 		L := 2 + rng.Float64()*40
 		pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: L}
 		sweep, errS := SingleIntervalSweep(pr)
-		greedy, errG := Greedy(pr)
+		greedy, errG := Greedy(context.Background(), pr)
 		if errS != nil {
 			return true // nothing to compare
 		}
@@ -207,7 +210,7 @@ func TestGreedyMatchesExactOften(t *testing.T) {
 			continue
 		}
 		total++
-		res, err := Greedy(pr)
+		res, err := Greedy(context.Background(), pr)
 		if err != nil {
 			continue
 		}
@@ -226,7 +229,7 @@ func TestGreedyMatchesExactOften(t *testing.T) {
 func TestHillClimbFeasibleAndValid(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: 30}
-	res, err := HillClimb(pr, AnnealConfig{Seed: 7, Iters: 1500, Restarts: 3})
+	res, err := HillClimb(context.Background(), pr, AnnealConfig{Seed: 7, Iters: 1500, Restarts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +244,7 @@ func TestHillClimbFeasibleAndValid(t *testing.T) {
 func TestAnnealMinLatencyGoal(t *testing.T) {
 	p, pl := fig34()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinLatency, Bound: 1}
-	res, err := Anneal(pr, AnnealConfig{Seed: 11, Iters: 3000, Restarts: 4})
+	res, err := Anneal(context.Background(), pr, AnnealConfig{Seed: 11, Iters: 3000, Restarts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +258,7 @@ func TestAnnealMinLatencyGoal(t *testing.T) {
 func TestAnnealRespectsFPConstraint(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinLatency, Bound: 0.2}
-	res, err := Anneal(pr, AnnealConfig{Seed: 5, Iters: 4000, Restarts: 4})
+	res, err := Anneal(context.Background(), pr, AnnealConfig{Seed: 5, Iters: 4000, Restarts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +275,7 @@ func TestAnnealRespectsFPConstraint(t *testing.T) {
 func TestParetoSearchFrontSane(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl}
-	front := ParetoSearch(pr, AnnealConfig{Seed: 2, Iters: 2000, Restarts: 3})
+	front := ParetoSearch(context.Background(), pr, AnnealConfig{Seed: 2, Iters: 2000, Restarts: 3})
 	if front.Len() < 3 {
 		t.Fatalf("front has %d points, want several", front.Len())
 	}
@@ -345,7 +348,7 @@ func TestParetoArchiveSharedWithFront(t *testing.T) {
 	p, pl := fig5()
 	front := &frontier.Front{}
 	pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: math.Inf(1)}
-	_, err := Anneal(pr, AnnealConfig{Seed: 9, Iters: 500, Restarts: 1, Archive: front})
+	_, err := Anneal(context.Background(), pr, AnnealConfig{Seed: 9, Iters: 500, Restarts: 1, Archive: front})
 	if err != nil {
 		t.Fatal(err)
 	}

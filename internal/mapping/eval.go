@@ -289,3 +289,39 @@ func (e *Evaluator) ToMapping(ends []int, masks []uint64) *Mapping {
 	}
 	return m
 }
+
+// BoundaryRep converts a mapping into the evaluator's boundary
+// representation: ends[j] is the last stage of interval j, masks[j] its
+// replica set as a processor bitmask. ok is false when some processor id
+// is outside the uint64 mask range (≥ MaxEvalProcs). The mapping is not
+// validated; pair this with Mapping.Validate (as EvaluateMapping does).
+func BoundaryRep(m *Mapping) (ends []int, masks []uint64, ok bool) {
+	ends = make([]int, len(m.Intervals))
+	masks = make([]uint64, len(m.Intervals))
+	for j, iv := range m.Intervals {
+		ends[j] = iv.Last
+		for _, u := range m.Alloc[j] {
+			if u < 0 || u >= MaxEvalProcs {
+				return nil, nil, false
+			}
+			masks[j] |= 1 << uint(u)
+		}
+	}
+	return ends, masks, true
+}
+
+// EvaluateMapping validates m against the evaluator's instance and scores
+// it through the precomputed state. It returns the same metrics as the
+// package-level Evaluate but skips re-deriving the platform dispatch on
+// every call, so long-lived sessions evaluating many mappings against one
+// (pipeline, platform) pair amortize the precomputation.
+func (e *Evaluator) EvaluateMapping(m *Mapping) (Metrics, error) {
+	if err := m.Validate(e.n, e.m); err != nil {
+		return Metrics{}, err
+	}
+	ends, masks, ok := BoundaryRep(m)
+	if !ok {
+		return Metrics{}, fmt.Errorf("mapping: processor id out of bitmask range (m ≤ %d)", MaxEvalProcs)
+	}
+	return e.Eval(ends, masks), nil
+}

@@ -1,23 +1,44 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 )
 
+// canceledErr wraps the context's cancellation cause so callers can test
+// with errors.Is against context.Canceled / context.DeadlineExceeded.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("sim: campaign canceled: %w", context.Cause(ctx))
+}
+
+// ctxDone returns the context's done channel (nil when ctx is nil or not
+// cancellable, making the per-trial select check free).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
 // EstimateFPParallel estimates the failure probability like EstimateFP but
 // fans the trials out over `workers` goroutines (0 = GOMAXPROCS). Each
 // worker samples with an independent RNG deterministically derived from
 // seed, so the result is reproducible for a fixed (trials, workers, seed)
 // triple regardless of scheduling.
-func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, workers int, seed int64) (FPEstimate, error) {
+//
+// Cancelling ctx stops the campaign early: the estimate is then computed
+// over the trials actually performed (FPEstimate.Trials reports how many)
+// and returned together with an error wrapping the context's cause.
+func EstimateFPParallel(ctx context.Context, pl *platform.Platform, m *mapping.Mapping, trials, workers int, seed int64) (FPEstimate, error) {
 	if trials <= 0 {
 		return FPEstimate{}, fmt.Errorf("sim: trials must be > 0")
 	}
@@ -30,8 +51,11 @@ func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, worke
 	if workers > trials {
 		workers = trials
 	}
+	done := ctxDone(ctx)
+	var canceled atomic.Bool
 
 	counts := make([]int, workers)
+	performed := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -49,7 +73,11 @@ func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, worke
 			rng := rand.New(rand.NewSource(seed ^ (int64(w)+1)*0x5851F42D4C957F2D))
 			failed := make([]bool, pl.NumProcs())
 			local := 0
-			for t := 0; t < share; t++ {
+			t := 0
+			for ; t < share; t++ {
+				if done != nil && t&255 == 0 && canceled.Load() {
+					break
+				}
 				for u := range failed {
 					failed[u] = rng.Float64() < pl.FailProb[u]
 				}
@@ -58,13 +86,37 @@ func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, worke
 				}
 			}
 			counts[w] = local
+			performed[w] = t
 		}()
 	}
-	wg.Wait()
+	if done != nil {
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-done:
+				canceled.Store(true)
+			case <-stop:
+			}
+		}()
+		wg.Wait()
+		close(stop)
+	} else {
+		wg.Wait()
+	}
 
-	failures := 0
-	for _, c := range counts {
-		failures += c
+	failures, did := 0, 0
+	for w := range counts {
+		failures += counts[w]
+		did += performed[w]
+	}
+	if canceled.Load() {
+		est := FPEstimate{Trials: did}
+		if did > 0 {
+			p := float64(failures) / float64(did)
+			est.FP = p
+			est.StdErr = math.Sqrt(p * (1 - p) / float64(did))
+		}
+		return est, canceledErr(ctx)
 	}
 	p := float64(failures) / float64(trials)
 	return FPEstimate{
@@ -78,7 +130,11 @@ func EstimateFPParallel(pl *platform.Platform, m *mapping.Mapping, trials, worke
 // simulations across `workers` goroutines and aggregates: the empirical
 // failure rate, the mean and maximum latency of completed runs, and the
 // number of completions. Deterministic for fixed (trials, workers, seed).
-func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config, trials, workers int, seed int64) (MCSummary, error) {
+//
+// Cancelling ctx stops the campaign early: the summary then aggregates
+// the trials actually executed (MCSummary.Trials reports how many) and is
+// returned together with an error wrapping the context's cause.
+func MonteCarloLatencyParallel(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, cfg Config, trials, workers int, seed int64) (MCSummary, error) {
 	if trials <= 0 {
 		return MCSummary{}, fmt.Errorf("sim: trials must be > 0")
 	}
@@ -91,6 +147,8 @@ func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *m
 	if workers > trials {
 		workers = trials
 	}
+	done := ctxDone(ctx)
+	var canceled atomic.Bool
 	type partial struct {
 		failures  int
 		completed int
@@ -113,6 +171,9 @@ func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *m
 			local.Mode = MonteCarlo
 			local.RNG = rand.New(rand.NewSource(seed ^ (int64(w)+1)*0x5851F42D4C957F2D))
 			for t := 0; t < share; t++ {
+				if done != nil && canceled.Load() {
+					return
+				}
 				res, err := Run(p, pl, m, local)
 				if err != nil {
 					errs[w] = err
@@ -130,14 +191,26 @@ func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *m
 			}
 		}()
 	}
-	wg.Wait()
+	if done != nil {
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-done:
+				canceled.Store(true)
+			case <-stop:
+			}
+		}()
+		wg.Wait()
+		close(stop)
+	} else {
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return MCSummary{}, err
 		}
 	}
 	var sum MCSummary
-	sum.Trials = trials
 	var totLat float64
 	for _, pt := range parts {
 		sum.Failures += pt.failures
@@ -147,10 +220,19 @@ func MonteCarloLatencyParallel(p *pipeline.Pipeline, pl *platform.Platform, m *m
 			sum.MaxLatency = pt.maxLat
 		}
 	}
+	sum.Trials = sum.Failures + sum.Completed
+	if !canceled.Load() {
+		sum.Trials = trials
+	}
 	if sum.Completed > 0 {
 		sum.MeanLatency = totLat / float64(sum.Completed)
 	}
-	sum.FailureRate = float64(sum.Failures) / float64(trials)
+	if sum.Trials > 0 {
+		sum.FailureRate = float64(sum.Failures) / float64(sum.Trials)
+	}
+	if canceled.Load() {
+		return sum, canceledErr(ctx)
+	}
 	return sum, nil
 }
 

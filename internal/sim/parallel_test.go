@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +14,7 @@ func TestEstimateFPParallelMatchesAnalytic(t *testing.T) {
 	_, pl := fig5()
 	m := fig5Split()
 	analytic := mapping.FailureProb(pl, m)
-	est, err := EstimateFPParallel(pl, m, 40_000, 4, 99)
+	est, err := EstimateFPParallel(context.Background(), pl, m, 40_000, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,11 +29,11 @@ func TestEstimateFPParallelMatchesAnalytic(t *testing.T) {
 func TestEstimateFPParallelDeterministic(t *testing.T) {
 	_, pl := fig5()
 	m := fig5Split()
-	a, err := EstimateFPParallel(pl, m, 5000, 3, 7)
+	a, err := EstimateFPParallel(context.Background(), pl, m, 5000, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateFPParallel(pl, m, 5000, 3, 7)
+	b, err := EstimateFPParallel(context.Background(), pl, m, 5000, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestEstimateFPParallelDeterministic(t *testing.T) {
 		t.Errorf("same seed/workers produced %g and %g", a.FP, b.FP)
 	}
 	// Different worker counts resample but stay in the same band.
-	c, err := EstimateFPParallel(pl, m, 5000, 1, 7)
+	c, err := EstimateFPParallel(context.Background(), pl, m, 5000, 1, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,19 +53,19 @@ func TestEstimateFPParallelDeterministic(t *testing.T) {
 func TestEstimateFPParallelErrors(t *testing.T) {
 	_, pl := fig5()
 	m := fig5Split()
-	if _, err := EstimateFPParallel(pl, m, 0, 2, 1); err == nil {
+	if _, err := EstimateFPParallel(context.Background(), pl, m, 0, 2, 1); err == nil {
 		t.Error("zero trials accepted")
 	}
 	bad := mapping.NewSingleInterval(2, []int{99})
-	if _, err := EstimateFPParallel(pl, bad, 10, 2, 1); err == nil {
+	if _, err := EstimateFPParallel(context.Background(), pl, bad, 10, 2, 1); err == nil {
 		t.Error("invalid mapping accepted")
 	}
 	// More workers than trials must still work.
-	if _, err := EstimateFPParallel(pl, m, 3, 64, 1); err != nil {
+	if _, err := EstimateFPParallel(context.Background(), pl, m, 3, 64, 1); err != nil {
 		t.Errorf("workers > trials failed: %v", err)
 	}
 	// workers <= 0 defaults to GOMAXPROCS.
-	if _, err := EstimateFPParallel(pl, m, 100, 0, 1); err != nil {
+	if _, err := EstimateFPParallel(context.Background(), pl, m, 100, 0, 1); err != nil {
 		t.Errorf("default workers failed: %v", err)
 	}
 }
@@ -73,7 +75,7 @@ func TestMonteCarloLatencyParallel(t *testing.T) {
 	m := fig5Split()
 	analyticFP := mapping.FailureProb(pl, m)
 	analyticLat, _ := mapping.Latency(p, pl, m)
-	sum, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 2000, 4, 11)
+	sum, err := MonteCarloLatencyParallel(context.Background(), p, pl, m, Config{}, 2000, 4, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +93,14 @@ func TestMonteCarloLatencyParallel(t *testing.T) {
 		t.Errorf("mean latency %g out of range (max %g)", sum.MeanLatency, sum.MaxLatency)
 	}
 	// Deterministic.
-	sum2, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 2000, 4, 11)
+	sum2, err := MonteCarloLatencyParallel(context.Background(), p, pl, m, Config{}, 2000, 4, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum != sum2 {
 		t.Error("same seed produced different summaries")
 	}
-	if _, err := MonteCarloLatencyParallel(p, pl, m, Config{}, 0, 4, 1); err == nil {
+	if _, err := MonteCarloLatencyParallel(context.Background(), p, pl, m, Config{}, 0, 4, 1); err == nil {
 		t.Error("zero trials accepted")
 	}
 }
@@ -183,5 +185,39 @@ func TestTraceInMonteCarloMode(t *testing.T) {
 	}
 	if !foundConsensus {
 		t.Error("consensus decision not traced")
+	}
+}
+
+func TestEstimateFPParallelCancel(t *testing.T) {
+	_, pl := fig5()
+	m := fig5Split()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	est, err := EstimateFPParallel(ctx, pl, m, 50_000_000, 4, 1)
+	if err == nil {
+		t.Fatal("cancelled estimate must report the cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if est.Trials >= 50_000_000 {
+		t.Errorf("estimate claims %d trials despite cancellation", est.Trials)
+	}
+}
+
+func TestMonteCarloLatencyParallelCancel(t *testing.T) {
+	p, pl := fig5()
+	m := fig5Split()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := MonteCarloLatencyParallel(ctx, p, pl, m, Config{}, 10_000_000, 4, 1)
+	if err == nil {
+		t.Fatal("cancelled campaign must report the cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if sum.Trials >= 10_000_000 {
+		t.Errorf("campaign claims %d trials despite cancellation", sum.Trials)
 	}
 }

@@ -1,7 +1,9 @@
 package throughput
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/exact"
@@ -92,10 +94,13 @@ func triBetter(a Metrics, taskA int64, b Metrics, taskB int64) bool {
 // enumeration fans out over opts.Workers goroutines (0 = GOMAXPROCS) via
 // the exact package's first-interval decomposition; the result is
 // deterministic for every worker count.
+// Cancelling opts.Ctx stops the enumeration early; the best RR mapping
+// found so far (when any) is returned alongside the exact.ErrCanceled
+// error so callers can grade it as a partial answer.
 func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxLatency, maxFailProb float64, opts exact.Options) (TriResult, error) {
 	opts.Replication = true
 	bests := make([]triBest, opts.WorkerCount())
-	err := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
+	runErr := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
 		wb := &bests[w]
 		return func(task int64, m *mapping.Mapping) bool {
 			enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
@@ -113,8 +118,8 @@ func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxL
 			return true
 		}
 	})
-	if err != nil {
-		return TriResult{}, err
+	if runErr != nil && !errors.Is(runErr, exact.ErrCanceled) {
+		return TriResult{}, runErr
 	}
 	best := triBest{}
 	for _, wb := range bests {
@@ -123,9 +128,12 @@ func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxL
 		}
 	}
 	if !best.found {
+		if runErr != nil {
+			return TriResult{}, runErr
+		}
 		return TriResult{}, ErrInfeasible
 	}
-	return best.res, nil
+	return best.res, runErr
 }
 
 // TriPareto enumerates the full three-criteria Pareto front (latency,
@@ -133,10 +141,12 @@ func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxL
 // fanning the mapping enumeration out over opts.Workers goroutines with
 // one front per worker, merged at the end. The metric set is exact and
 // scheduling-independent.
+// Cancelling opts.Ctx stops the enumeration early; the partial front
+// accumulated so far is returned alongside the exact.ErrCanceled error.
 func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) (*TriFront, error) {
 	opts.Replication = true
 	fronts := make([]*TriFront, opts.WorkerCount())
-	err := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
+	runErr := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
 		front := &TriFront{}
 		fronts[w] = front
 		return func(task int64, m *mapping.Mapping) bool {
@@ -150,8 +160,8 @@ func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) 
 			return true
 		}
 	})
-	if err != nil {
-		return nil, err
+	if runErr != nil && !errors.Is(runErr, exact.ErrCanceled) {
+		return nil, runErr
 	}
 	merged := &TriFront{}
 	for _, f := range fronts {
@@ -163,7 +173,7 @@ func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) 
 			merged.InsertOwned(e.Metrics, e.Mapping, e.Task)
 		}
 	}
-	return merged, nil
+	return merged, runErr
 }
 
 // enumerateGroupings recursively replaces interval j's single group by
@@ -204,7 +214,11 @@ func cloneRR(r *RRMapping) *RRMapping {
 // (typically the core solver's answer), then repeatedly split the group
 // whose cycle bottlenecks the period into two round-robin halves, as long
 // as the period improves and both constraints keep holding.
-func GreedyRR(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, maxLatency, maxFailProb float64) (TriResult, error) {
+//
+// ctx is polled between split rounds: on cancellation the best feasible
+// RR mapping reached so far is returned with an error wrapping the
+// context's cause.
+func GreedyRR(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, maxLatency, maxFailProb float64) (TriResult, error) {
 	cur := FromMapping(m)
 	met, err := cur.Evaluate(p, pl)
 	if err != nil {
@@ -213,8 +227,19 @@ func GreedyRR(p *pipeline.Pipeline, pl *platform.Platform, m *mapping.Mapping, m
 	if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
 		return TriResult{}, ErrInfeasible
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	best := TriResult{Mapping: cloneRR(cur), Metrics: met}
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return best, fmt.Errorf("throughput: greedy RR canceled: %w", context.Cause(ctx))
+			default:
+			}
+		}
 		improved := false
 		// Try splitting every group with ≥ 2 replicas into two halves.
 		for j := range best.Mapping.Groups {

@@ -1,6 +1,7 @@
 package throughput
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -341,7 +342,7 @@ func TestGreedyRRConsistency(t *testing.T) {
 	p := pipeline.MustNew([]float64{100}, []float64{1, 1})
 	pl, _ := platform.NewCommHomogeneous([]float64{10, 10, 10, 10}, []float64{0.3, 0.3, 0.3, 0.3}, 5)
 	m := mapping.NewSingleInterval(1, []int{0, 1, 2, 3})
-	res, err := GreedyRR(p, pl, m, math.Inf(1), 1)
+	res, err := GreedyRR(context.Background(), p, pl, m, math.Inf(1), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestGreedyRRConsistency(t *testing.T) {
 		t.Fatalf("greedy produced invalid mapping: %v", err)
 	}
 	// Infeasible start.
-	if _, err := GreedyRR(p, pl, m, 0.1, 1); !errors.Is(err, ErrInfeasible) {
+	if _, err := GreedyRR(context.Background(), p, pl, m, 0.1, 1); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }

@@ -1,0 +1,103 @@
+// Package serve exposes the session-based solver API as a JSON-over-HTTP
+// service: single and batched bi-criteria solve requests with per-request
+// deadlines mapped to context cancellation, answered from an LRU of warm
+// Sessions keyed by instance hash so repeated traffic against the same
+// (pipeline, platform) pair skips the evaluator precomputation.
+//
+// Endpoints (see Service):
+//
+//	POST /v1/solve        one SolveSpec  -> one SolveResult
+//	POST /v1/solve/batch  BatchRequest   -> BatchResponse
+//	GET  /healthz         liveness probe
+//	GET  /v1/stats        request and session-cache counters
+//
+// The wire format reuses the library's canonical JSON encodings of
+// Pipeline, Platform and Mapping, so a pipemap problem document is a
+// valid SolveSpec.
+package serve
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// SolveSpec is one bi-criteria solve request.
+type SolveSpec struct {
+	// Pipeline is the n-stage application: {"w": [...], "delta": [...]}.
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	// Platform is the m-processor target: {"speed": [...], "failProb":
+	// [...], "b": [[...]], "bIn": [...], "bOut": [...]}.
+	Platform *platform.Platform `json:"platform"`
+	// Objective is "minFailureProb" (default) or "minLatency".
+	Objective string `json:"objective,omitempty"`
+	// MaxLatency bounds the latency when minimizing failure probability
+	// (0 = unconstrained).
+	MaxLatency float64 `json:"maxLatency,omitempty"`
+	// MaxFailProb bounds the failure probability when minimizing latency
+	// (0 or 1 = unconstrained).
+	MaxFailProb float64 `json:"maxFailProb,omitempty"`
+	// DeadlineMillis caps this request's wall-clock time; past it the
+	// solver returns its best-so-far answer marked partial. 0 falls back
+	// to the service default.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+
+	// Session-level tuning; these participate in the warm-session cache
+	// key, so vary them only when actually needed.
+
+	// Workers is the solver goroutine count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// ExactBudget overrides the exact-vs-heuristic routing budget.
+	ExactBudget float64 `json:"exactBudget,omitempty"`
+	// ForceHeuristic skips exact enumeration regardless of size.
+	ForceHeuristic bool `json:"forceHeuristic,omitempty"`
+	// Seed drives the stochastic components (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SolveResult is the answer to one SolveSpec.
+type SolveResult struct {
+	// Mapping is the solved interval mapping (absent on error).
+	Mapping *mapping.Mapping `json:"mapping,omitempty"`
+	// Latency and FailureProb are the mapping's analytic metrics. Not
+	// omitempty: a failure probability of exactly 0 is a legitimate
+	// answer and must stay on the wire.
+	Latency     float64 `json:"latency"`
+	FailureProb float64 `json:"failureProb"`
+	// Certainty grades the answer: "provably optimal", "exhaustively
+	// optimal", "heuristic" or "partial (canceled)".
+	Certainty string `json:"certainty,omitempty"`
+	// Method names the algorithm that produced the mapping.
+	Method string `json:"method,omitempty"`
+	// Partial is true when the deadline fired and the mapping is the
+	// best found so far rather than the search's final answer.
+	Partial bool `json:"partial,omitempty"`
+	// CacheHit is true when the request was served by a warm session.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// Error carries the solver error (e.g. infeasibility) when no
+	// mapping could be produced; the HTTP status is still 200 for
+	// well-formed requests.
+	Error string `json:"error,omitempty"`
+	// ElapsedMillis is the server-side solve time.
+	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// BatchRequest bundles several solve requests into one round trip; the
+// service fans them out over a bounded worker pool.
+type BatchRequest struct {
+	Problems []SolveSpec `json:"problems"`
+}
+
+// BatchResponse carries one result per request, in request order.
+type BatchResponse struct {
+	Results []SolveResult `json:"results"`
+}
+
+// Stats reports service counters (GET /v1/stats).
+type Stats struct {
+	Requests     int64 `json:"requests"`     // solve requests processed (batch items count individually)
+	CacheHits    int64 `json:"cacheHits"`    // served by a warm session
+	CacheMisses  int64 `json:"cacheMisses"`  // session built for the request
+	CacheSize    int   `json:"cacheSize"`    // sessions currently warm
+	CacheEvicted int64 `json:"cacheEvicted"` // sessions evicted by the LRU
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"repro"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// sessionKey derives the warm-session cache key: a SHA-256 over the
+// canonical JSON of the instance plus every session-level option, so two
+// requests share a session exactly when they would construct identical
+// ones.
+func sessionKey(p *pipeline.Pipeline, pl *platform.Platform, workers int, budget float64, force bool, seed int64) (string, error) {
+	blob, err := json.Marshal(struct {
+		P       *pipeline.Pipeline `json:"p"`
+		Pl      *platform.Platform `json:"pl"`
+		Workers int                `json:"w"`
+		Budget  float64            `json:"b"`
+		Force   bool               `json:"f"`
+		Seed    int64              `json:"s"`
+	}{p, pl, workers, budget, force, seed})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// sessionCache is a mutex-guarded LRU of warm sessions. Hits move the
+// entry to the front; inserts past capacity evict the back.
+type sessionCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key  string
+	sess *repro.Session
+}
+
+func newSessionCache(capacity int) *sessionCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &sessionCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// getOrCreate returns the warm session for key, building (and inserting)
+// it with build on a miss. The build runs under the cache lock — session
+// construction is O(n+m), far below a solve — which also deduplicates
+// concurrent misses for the same key. hit reports whether the session was
+// already warm.
+func (c *sessionCache) getOrCreate(key string, build func() (*repro.Session, error)) (sess *repro.Session, hit bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).sess, true, nil
+	}
+	c.misses++
+	sess, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sess: sess})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+	return sess, false, nil
+}
+
+// stats snapshots the cache counters.
+func (c *sessionCache) stats() (hits, misses, evicted int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted, c.ll.Len()
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Config tunes a Service. The zero value is ready to use.
+type Config struct {
+	// CacheSize caps the warm-session LRU (default 128).
+	CacheSize int
+	// DefaultDeadline bounds requests that carry no deadlineMillis of
+	// their own (default 30s; negative disables the default).
+	DefaultDeadline time.Duration
+	// MaxBatch caps the problems accepted in one batch request
+	// (default 64).
+	MaxBatch int
+	// BatchParallelism bounds how many problems of a batch solve
+	// concurrently (default GOMAXPROCS).
+	BatchParallelism int
+	// MaxBodyBytes caps the accepted request body size (default 8 MiB);
+	// oversized requests fail with 400 instead of being decoded in full.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Service is the HTTP solve service. Create it with New and mount it as
+// an http.Handler; it is safe for concurrent use.
+type Service struct {
+	cfg      Config
+	cache    *sessionCache
+	mux      *http.ServeMux
+	requests atomic.Int64
+}
+
+// New builds a Service with its routes mounted.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:   cfg.withDefaults(),
+		cache: newSessionCache(cfg.withDefaults().CacheSize),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evicted, size := s.cache.stats()
+	writeJSON(w, http.StatusOK, Stats{
+		Requests:     s.requests.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheSize:    size,
+		CacheEvicted: evicted,
+	})
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var spec SolveSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding solve request: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.solveOne(r.Context(), spec))
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding batch request: %v", err)})
+		return
+	}
+	if len(batch.Problems) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch carries no problems"})
+		return
+	}
+	if len(batch.Problems) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch of %d exceeds the %d-problem cap", len(batch.Problems), s.cfg.MaxBatch)})
+		return
+	}
+	results := make([]SolveResult, len(batch.Problems))
+	sem := make(chan struct{}, s.cfg.BatchParallelism)
+	var wg sync.WaitGroup
+	for i, spec := range batch.Problems {
+		i, spec := i, spec
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = s.solveOne(r.Context(), spec)
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// solveOne answers one spec: session from the warm cache (or built and
+// inserted), per-request deadline mapped to context, solver errors
+// reported in-band.
+func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
+	s.requests.Add(1)
+	start := time.Now()
+	finish := func(res SolveResult) SolveResult {
+		res.ElapsedMillis = time.Since(start).Milliseconds()
+		return res
+	}
+	if spec.Pipeline == nil || spec.Platform == nil {
+		return finish(SolveResult{Error: "request needs both \"pipeline\" and \"platform\""})
+	}
+	var objective repro.Objective
+	switch spec.Objective {
+	case "minLatency":
+		objective = repro.MinimizeLatency
+	case "minFailureProb", "minFP", "":
+		objective = repro.MinimizeFailureProb
+	default:
+		return finish(SolveResult{Error: fmt.Sprintf("unknown objective %q (want minLatency or minFailureProb)", spec.Objective)})
+	}
+
+	key, err := sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
+	if err != nil {
+		return finish(SolveResult{Error: fmt.Sprintf("hashing instance: %v", err)})
+	}
+	sess, hit, err := s.cache.getOrCreate(key, func() (*repro.Session, error) {
+		opts := []repro.SessionOption{
+			repro.WithWorkers(spec.Workers),
+			repro.WithExactBudget(spec.ExactBudget),
+			repro.WithForceHeuristic(spec.ForceHeuristic),
+		}
+		if spec.Seed != 0 {
+			opts = append(opts, repro.WithSeed(spec.Seed))
+		}
+		return repro.NewSession(spec.Pipeline, spec.Platform, opts...)
+	})
+	if err != nil {
+		return finish(SolveResult{Error: err.Error()})
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if spec.DeadlineMillis > 0 {
+		deadline = time.Duration(spec.DeadlineMillis) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	res, err := sess.Solve(ctx, repro.SolveRequest{
+		Objective:   objective,
+		MaxLatency:  spec.MaxLatency,
+		MaxFailProb: spec.MaxFailProb,
+	})
+	if err != nil {
+		out := SolveResult{Error: err.Error(), CacheHit: hit}
+		if errors.Is(err, repro.ErrInfeasible) {
+			out.Error = "infeasible: " + err.Error()
+		}
+		return finish(out)
+	}
+	return finish(SolveResult{
+		Mapping:     res.Mapping,
+		Latency:     res.Metrics.Latency,
+		FailureProb: res.Metrics.FailureProb,
+		Certainty:   res.Certainty.String(),
+		Method:      res.Method,
+		Partial:     res.Certainty == repro.Partial,
+		CacheHit:    hit,
+	})
+}
