@@ -481,3 +481,90 @@ func BenchmarkSessionReuse(b *testing.B) {
 		}
 	})
 }
+
+// wideBenchInstance builds the m-processor fully heterogeneous platform
+// used by the wide-platform (m > 64) benchmarks: per-processor speeds,
+// failure probabilities and bandwidths all vary so the multi-word replica
+// iteration is fully exercised.
+func wideBenchInstance(b *testing.B, n, m int) (*pipeline.Pipeline, *platform.Platform) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(100*n + m)))
+	p := pipeline.Random(rng, n, 1, 10, 1, 10)
+	pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0.05, 0.95, 1, 20)
+	return p, pl
+}
+
+// benchWideMinLatency times the exact latency solver on the multi-word
+// wide search: singleton replica sets over every boundary split, pruned
+// branch-and-bound, parallel first-interval fan-out.
+func benchWideMinLatency(b *testing.B, n, m, workers int) {
+	p, pl := wideBenchInstance(b, n, m)
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exact.Options{Workers: workers, Eval: ev, MaxEnum: 1 << 62}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinLatencyInterval(p, pl, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWideM80Exact: m = 80, n = 3 — ≈ 500k singleton candidates.
+func BenchmarkWideM80Exact(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchWideMinLatency(b, 3, 80, 1) })
+	b.Run("par", func(b *testing.B) { benchWideMinLatency(b, 3, 80, 0) })
+}
+
+// BenchmarkWideM128Exact: m = 128, n = 3 — ≈ 2M singleton candidates on
+// a two-word stride.
+func BenchmarkWideM128Exact(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchWideMinLatency(b, 3, 128, 1) })
+	b.Run("par", func(b *testing.B) { benchWideMinLatency(b, 3, 128, 0) })
+}
+
+// BenchmarkWideEvaluate isolates the multi-word evaluation hot path: one
+// EvalW per iteration on an m = 128 candidate spanning both words.
+func BenchmarkWideEvaluate(b *testing.B) {
+	p, pl := wideBenchInstance(b, 6, 128)
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 1}, {First: 2, Last: 3}, {First: 4, Last: 5}},
+		Alloc:     [][]int{{0, 65}, {10, 100}, {63, 64, 127}},
+	}
+	ends, words := mapping.BoundaryRepWide(mp, ev.Stride())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		met := ev.EvalW(ends, words)
+		if met.Latency <= 0 {
+			b.Fatal("bogus latency")
+		}
+	}
+}
+
+// BenchmarkWideBeamSearch: the scalable wide-platform heuristic —
+// session beam search over multi-word used-sets at m = 128 (the greedy +
+// annealing Solve route still runs at this width but is minutes-slow;
+// its scaling is tracked as a ROADMAP item, not benchmarked here).
+func BenchmarkWideBeamSearch(b *testing.B) {
+	p, pl := wideBenchInstance(b, 8, 128)
+	s, err := NewSession(p, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.BeamSearchMinLatency(ctx, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

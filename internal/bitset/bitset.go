@@ -1,0 +1,213 @@
+// Package bitset provides the fixed-stride multi-word processor sets
+// behind the wide-platform (m > 64) path of the exact solvers. A Set is a
+// little-endian []uint64 view — bit i of word w is processor w·64+i — and
+// every operation works in place on caller-provided storage, so the
+// enumeration hot path stays free of heap allocations: workers allocate
+// their word buffers once per run and reslice them per search depth.
+//
+// The package exists to generalize the uint64 replica masks of
+// internal/mapping's Evaluator beyond 64 processors while preserving the
+// engine's contracts:
+//
+//   - iteration (ForEach, NextOne) visits set bits in ascending index
+//     order, matching the TrailingZeros order of the single-word path, so
+//     accumulated float metrics stay bitwise identical to the slice
+//     reference;
+//   - DecAnd is the multi-word generalization of the classic subset walk
+//     sub = (sub − 1) & free, enumerating the non-empty subsets of free in
+//     strictly decreasing big-integer order — a fixed, scheduling-
+//     independent order the deterministic tie-breaks rely on;
+//   - no operation allocates; Sets are plain slices and compare, copy and
+//     combine word-by-word.
+//
+// Words(m) gives the stride (number of words) for an m-processor
+// platform; a stride-1 Set is exactly the legacy uint64 mask.
+package bitset
+
+import "math/bits"
+
+// WordBits is the number of bits per word.
+const WordBits = 64
+
+// Words returns the number of uint64 words needed for m bits (the stride
+// of an m-processor platform).
+func Words(m int) int { return (m + WordBits - 1) / WordBits }
+
+// Set is a fixed-width bit set: a little-endian slice of words whose
+// length is the platform stride. The zero-length Set is valid and empty.
+type Set []uint64
+
+// Make returns a fresh zeroed Set wide enough for m bits.
+func Make(m int) Set { return make(Set, Words(m)) }
+
+// Test reports whether bit i is set.
+func (s Set) Test(i int) bool { return s[i/WordBits]&(1<<uint(i%WordBits)) != 0 }
+
+// Add sets bit i.
+func (s Set) Add(i int) { s[i/WordBits] |= 1 << uint(i%WordBits) }
+
+// Remove clears bit i.
+func (s Set) Remove(i int) { s[i/WordBits] &^= 1 << uint(i%WordBits) }
+
+// Zero clears every bit.
+func (s Set) Zero() {
+	for w := range s {
+		s[w] = 0
+	}
+}
+
+// Fill sets bits [0, m) and clears any tail bits beyond m. m must fit the
+// stride.
+func (s Set) Fill(m int) {
+	for w := range s {
+		s[w] = ^uint64(0)
+	}
+	if tail := m % WordBits; tail != 0 {
+		s[len(s)-1] = 1<<uint(tail) - 1
+	}
+}
+
+// Copy overwrites s with o (same stride).
+func (s Set) Copy(o Set) {
+	copy(s, o)
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsZero reports whether no bit is set.
+func (s Set) IsZero() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o hold the same bits (same stride).
+func (s Set) Equal(o Set) bool {
+	for w := range s {
+		if s[w] != o[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// Or sets s = a | b (all three the same stride; s may alias a or b).
+func (s Set) Or(a, b Set) {
+	for w := range s {
+		s[w] = a[w] | b[w]
+	}
+}
+
+// AndNot sets s = a &^ b (all three the same stride; s may alias a or b).
+func (s Set) AndNot(a, b Set) {
+	for w := range s {
+		s[w] = a[w] &^ b[w]
+	}
+}
+
+// And sets s = a & b (all three the same stride; s may alias a or b).
+func (s Set) And(a, b Set) {
+	for w := range s {
+		s[w] = a[w] & b[w]
+	}
+}
+
+// IsSubsetOf reports s ⊆ o.
+func (s Set) IsSubsetOf(o Set) bool {
+	for w := range s {
+		if s[w]&^o[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports s ∩ o ≠ ∅.
+func (s Set) Intersects(o Set) bool {
+	for w := range s {
+		if s[w]&o[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextOne returns the smallest set bit index ≥ from, or −1 when none.
+func (s Set) NextOne(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from / WordBits
+	if w >= len(s) {
+		return -1
+	}
+	if cur := s[w] >> uint(from%WordBits); cur != 0 {
+		return from + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(s); w++ {
+		if s[w] != 0 {
+			return w*WordBits + bits.TrailingZeros64(s[w])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn with every set bit in ascending order; returning false
+// stops the walk early.
+func (s Set) ForEach(fn func(i int) bool) {
+	for w, word := range s {
+		for bm := word; bm != 0; bm &= bm - 1 {
+			if !fn(w*WordBits + bits.TrailingZeros64(bm)) {
+				return
+			}
+		}
+	}
+}
+
+// DecAnd sets s = (s − 1) & mask, treating s as a little-endian
+// multi-word integer, and reports whether the result is non-zero. With s
+// starting at mask and one visit before each call, the loop
+//
+//	s.Copy(mask); for { visit(s); if !s.DecAnd(mask) { break } }
+//
+// visits every non-empty subset of mask exactly once, in strictly
+// decreasing integer order — the multi-word generalization of the classic
+// sub = (sub − 1) & free subset walk. s must be a non-empty subset of
+// mask (so the decrement never borrows out of the top word).
+func (s Set) DecAnd(mask Set) bool {
+	nonzero := false
+	borrow := true
+	for w := range s {
+		if borrow {
+			old := s[w]
+			s[w] = old - 1
+			borrow = old == 0
+		}
+		s[w] &= mask[w]
+		if s[w] != 0 {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// AppendBits appends the indices of the set bits to dst in ascending
+// order and returns the extended slice.
+func (s Set) AppendBits(dst []int) []int {
+	for w, word := range s {
+		for bm := word; bm != 0; bm &= bm - 1 {
+			dst = append(dst, w*WordBits+bits.TrailingZeros64(bm))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,232 @@
+package bitset
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// toBig converts a Set to the big integer it encodes.
+func toBig(s Set) *big.Int {
+	x := new(big.Int)
+	for w := len(s) - 1; w >= 0; w-- {
+		x.Lsh(x, WordBits)
+		x.Or(x, new(big.Int).SetUint64(s[w]))
+	}
+	return x
+}
+
+func randomSet(rng *rand.Rand, m int) Set {
+	s := Make(m)
+	for i := 0; i < m; i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3, 200: 4}
+	for m, want := range cases {
+		if got := Words(m); got != want {
+			t.Errorf("Words(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestBitOpsAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		m := 1 + rng.Intn(200)
+		a, b := randomSet(rng, m), randomSet(rng, m)
+		ba, bb := toBig(a), toBig(b)
+
+		or := Make(m)
+		or.Or(a, b)
+		if toBig(or).Cmp(new(big.Int).Or(ba, bb)) != 0 {
+			t.Fatalf("m=%d: Or mismatch", m)
+		}
+		andnot := Make(m)
+		andnot.AndNot(a, b)
+		if toBig(andnot).Cmp(new(big.Int).AndNot(ba, bb)) != 0 {
+			t.Fatalf("m=%d: AndNot mismatch", m)
+		}
+		and := Make(m)
+		and.And(a, b)
+		if toBig(and).Cmp(new(big.Int).And(ba, bb)) != 0 {
+			t.Fatalf("m=%d: And mismatch", m)
+		}
+		if got, want := a.Count(), popBig(ba); got != want {
+			t.Fatalf("m=%d: Count = %d, want %d", m, got, want)
+		}
+		if got, want := a.IsZero(), ba.Sign() == 0; got != want {
+			t.Fatalf("m=%d: IsZero = %v, want %v", m, got, want)
+		}
+		if got, want := a.IsSubsetOf(b), new(big.Int).AndNot(ba, bb).Sign() == 0; got != want {
+			t.Fatalf("m=%d: IsSubsetOf = %v, want %v", m, got, want)
+		}
+		if got, want := a.Intersects(b), new(big.Int).And(ba, bb).Sign() != 0; got != want {
+			t.Fatalf("m=%d: Intersects = %v, want %v", m, got, want)
+		}
+		if got, want := a.Equal(b), ba.Cmp(bb) == 0; got != want {
+			t.Fatalf("m=%d: Equal = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func popBig(x *big.Int) int {
+	c := 0
+	for _, w := range x.Bits() {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestFillTestAddRemove(t *testing.T) {
+	for _, m := range []int{1, 7, 64, 65, 80, 128, 130} {
+		s := Make(m)
+		s.Fill(m)
+		if s.Count() != m {
+			t.Fatalf("m=%d: Fill count %d", m, s.Count())
+		}
+		for i := 0; i < m; i++ {
+			if !s.Test(i) {
+				t.Fatalf("m=%d: bit %d unset after Fill", m, i)
+			}
+		}
+		s.Remove(m - 1)
+		if s.Test(m-1) || s.Count() != m-1 {
+			t.Fatalf("m=%d: Remove failed", m)
+		}
+		s.Add(m - 1)
+		if !s.Test(m - 1) {
+			t.Fatalf("m=%d: Add failed", m)
+		}
+		s.Zero()
+		if !s.IsZero() {
+			t.Fatalf("m=%d: Zero failed", m)
+		}
+	}
+}
+
+func TestIterationAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(200)
+		s := randomSet(rng, m)
+		var want []int
+		for i := 0; i < m; i++ {
+			if s.Test(i) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		s.ForEach(func(i int) bool { got = append(got, i); return true })
+		if len(got) != len(want) {
+			t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ForEach order: got %v, want %v", got, want)
+			}
+		}
+		var next []int
+		for i := s.NextOne(0); i >= 0; i = s.NextOne(i + 1) {
+			next = append(next, i)
+		}
+		if len(next) != len(want) {
+			t.Fatalf("NextOne visited %d bits, want %d", len(next), len(want))
+		}
+		for i := range next {
+			if next[i] != want[i] {
+				t.Fatalf("NextOne order: got %v, want %v", next, want)
+			}
+		}
+		appended := s.AppendBits(nil)
+		for i := range appended {
+			if appended[i] != want[i] {
+				t.Fatalf("AppendBits: got %v, want %v", appended, want)
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Make(130)
+	s.Add(3)
+	s.Add(70)
+	s.Add(129)
+	visited := 0
+	s.ForEach(func(int) bool { visited++; return visited < 2 })
+	if visited != 2 {
+		t.Errorf("early-stopped ForEach visited %d bits, want 2", visited)
+	}
+}
+
+// TestDecAndEnumeratesAllSubsets: the multi-word subset walk must visit
+// every non-empty subset of the mask exactly once, in strictly decreasing
+// big-integer order — including masks that span word boundaries.
+func TestDecAndEnumeratesAllSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(200)
+		mask := Make(m)
+		// At most 12 set bits keeps 2^k enumerable while still crossing
+		// word boundaries for large m.
+		for k := 1 + rng.Intn(12); k > 0; k-- {
+			mask.Add(rng.Intn(m))
+		}
+		bits := mask.Count()
+		sub := Make(m)
+		sub.Copy(mask)
+		prev := toBig(sub)
+		seen := map[string]bool{prev.Text(16): true}
+		count := 1
+		for sub.DecAnd(mask) {
+			if !sub.IsSubsetOf(mask) {
+				t.Fatalf("m=%d: DecAnd left the mask: %v ⊄ %v", m, sub, mask)
+			}
+			cur := toBig(sub)
+			if cur.Cmp(prev) >= 0 {
+				t.Fatalf("m=%d: DecAnd not strictly decreasing: %s then %s", m, prev.Text(16), cur.Text(16))
+			}
+			key := cur.Text(16)
+			if seen[key] {
+				t.Fatalf("m=%d: subset %s visited twice", m, key)
+			}
+			seen[key] = true
+			prev = cur
+			count++
+		}
+		if want := 1<<uint(bits) - 1; count != want {
+			t.Fatalf("m=%d mask bits=%d: visited %d subsets, want %d", m, bits, count, want)
+		}
+	}
+}
+
+// TestZeroAlloc: the hot-path operations must not allocate.
+func TestZeroAlloc(t *testing.T) {
+	a, b, dst := Make(130), Make(130), Make(130)
+	a.Fill(130)
+	b.Add(7)
+	b.Add(99)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst.Or(a, b)
+		dst.AndNot(a, b)
+		dst.And(a, b)
+		dst.Copy(a)
+		_ = dst.Count()
+		_ = dst.IsZero()
+		_ = dst.Equal(a)
+		_ = dst.IsSubsetOf(a)
+		_ = dst.Intersects(b)
+		_ = dst.NextOne(0)
+		dst.DecAnd(a)
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path ops allocate %.1f objects per run, want 0", allocs)
+	}
+}

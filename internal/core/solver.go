@@ -267,7 +267,10 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 				"Theorem 4 relaxation + path repair"}
 			err = nil
 		}
-		if pr.Platform.NumProcs() <= 64 {
+		// Beam search explores interval mappings with singleton replica
+		// sets — a strict subset of the exact enumeration space — so it
+		// can only help when the search above was heuristic or partial.
+		if err != nil || (res.Certainty != ProvablyOptimal && res.Certainty != ExhaustivelyOptimal) {
 			if beam, beamErr := heuristics.BeamSearchMinLatency(ctx, pr.Pipeline, pr.Platform, 32); beam.Mapping != nil {
 				if err != nil || beam.Metrics.Latency < res.Metrics.Latency {
 					cert := Heuristic

@@ -4,23 +4,38 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/mapping"
 )
 
 // This file is the shared enumeration engine behind the four exact
 // solvers and the throughput package's tri-criteria enumeration. It
 // replaces the per-node [][]int materialization of the original
-// enumerators with interval end boundaries + uint64 replica bitmasks,
-// evaluates candidates incrementally through mapping.Evaluator with zero
-// heap allocations, supports branch-and-bound pruning (prefix latency
-// lower bound / monotone failure-probability prefix against an incumbent
-// or a threshold), and fans the search out over worker goroutines by the
+// enumerators with interval end boundaries + replica bitmasks, evaluates
+// candidates incrementally through mapping.Evaluator with zero heap
+// allocations, supports branch-and-bound pruning (prefix latency lower
+// bound / monotone failure-probability prefix against an incumbent or a
+// threshold), and fans the search out over worker goroutines by the
 // choice of the first interval — its last stage and its replica set —
 // exactly the decomposition ParetoFrontParallel pioneered.
+//
+// Two mask representations share the engine scaffolding (task claiming,
+// budget, abort flag, incumbent, cancellation watcher):
+//
+//   - the narrow search of this file keeps replica sets in uint64
+//     registers and covers m ≤ 64 (m ≤ 62 with replication, where task
+//     indices pack end·(2^m−1)+subset into an int64);
+//   - the wide search of enginewide.go stores replica sets as multi-word
+//     bitset rows in flat per-depth buffers and covers any m, fanning out
+//     by (first-interval end, lowest replica id) instead.
+//
+// Both paths run identical pruning, budget accounting, tie-breaking and
+// cancellation; visitors receive masks as a flat []uint64 buffer of
+// engine.stride words per interval (stride 1 on the narrow path, i.e.
+// exactly the legacy one-word-per-interval slice).
 //
 // Determinism: every complete mapping is reported together with the index
 // of the first-interval subtree (task) it belongs to, tasks are
@@ -38,7 +53,8 @@ type pruneFunc func(lbLat, prefixFP float64) bool
 
 // visitFunc receives each complete enumerated mapping: the subtree index
 // it was found in, its boundary representation (reused between calls —
-// copy to retain), and its metrics (zero when the engine runs without an
+// copy to retain; masks is a flat buffer of engine.stride words per
+// interval), and its metrics (zero when the engine runs without an
 // Evaluator). Returning false stops the whole enumeration early.
 type visitFunc func(task int64, ends []int, masks []uint64, met mapping.Metrics) bool
 
@@ -46,7 +62,10 @@ type visitFunc func(task int64, ends []int, masks []uint64, met mapping.Metrics)
 type engine struct {
 	ev          *mapping.Evaluator // nil: enumerate only, no metrics/pruning
 	n, m        int
-	full        uint64
+	stride      int        // bitset words per replica set (1 when m ≤ 64)
+	wide        bool       // multi-word search + (end, min replica) tasks
+	full        uint64     // narrow only: the all-processors mask
+	fullW       bitset.Set // wide only: the all-processors set
 	replication bool
 	commHom     bool
 
@@ -66,13 +85,11 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 	if n <= 0 || m <= 0 {
 		return nil, fmt.Errorf("exact: need n>0 and m>0, got n=%d m=%d", n, m)
 	}
-	if m > mapping.MaxEvalProcs {
-		return nil, fmt.Errorf("exact: bitmask enumeration supports m ≤ %d, got %d", mapping.MaxEvalProcs, m)
-	}
 	g := &engine{
 		ev:          ev,
 		n:           n,
 		m:           m,
+		stride:      bitset.Words(m),
 		replication: opts.Replication,
 		ctx:         opts.Ctx,
 		budget:      opts.maxEnum(),
@@ -80,18 +97,27 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 	if ev != nil {
 		g.commHom = ev.CommHom()
 	}
-	if m == 64 {
-		g.full = ^uint64(0)
-	} else {
-		g.full = 1<<uint(m) - 1
-	}
-	if opts.Replication {
-		if m > maxReplicationProcs {
-			return nil, fmt.Errorf("exact: replication enumeration supports m ≤ %d, got %d", maxReplicationProcs, m)
-		}
-		g.subsPerEnd = int64(1)<<uint(m) - 1
-	} else {
+	// The narrow (uint64-register) search covers m ≤ 64; with replication
+	// its task indices pack end·(2^m−1)+subset into an int64, so m ≤ 62.
+	// Beyond either limit the multi-word wide search takes over with the
+	// overflow-free (end, lowest replica id) task decomposition.
+	g.wide = opts.forceWide || m > mapping.MaxEvalProcs ||
+		(opts.Replication && m > maxReplicationProcs)
+	if g.wide {
+		g.fullW = bitset.Make(m)
+		g.fullW.Fill(m)
 		g.subsPerEnd = int64(m)
+	} else {
+		if m == 64 {
+			g.full = ^uint64(0)
+		} else {
+			g.full = 1<<uint(m) - 1
+		}
+		if opts.Replication {
+			g.subsPerEnd = int64(1)<<uint(m) - 1
+		} else {
+			g.subsPerEnd = int64(m)
+		}
 	}
 	if int64(n) > math.MaxInt64/g.subsPerEnd {
 		return nil, fmt.Errorf("exact: instance too large to enumerate (n=%d, m=%d)", n, m)
@@ -132,7 +158,7 @@ func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) 
 	}
 	if workers <= 1 {
 		prune, visit := newWorker(0)
-		g.worker(prune, visit)
+		g.runWorker(prune, visit)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -140,7 +166,7 @@ func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				g.worker(prune, visit)
+				g.runWorker(prune, visit)
 			}()
 		}
 		wg.Wait()
@@ -155,6 +181,16 @@ func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) 
 		return ErrBudget
 	}
 	return nil
+}
+
+// runWorker dispatches one worker onto the mask representation the
+// engine selected at construction.
+func (g *engine) runWorker(prune pruneFunc, visit visitFunc) {
+	if g.wide {
+		g.workerWide(prune, visit)
+	} else {
+		g.worker(prune, visit)
+	}
 }
 
 // worker claims first-interval subtrees until the space or the budget is
@@ -360,25 +396,27 @@ func (a *atomicMin) min(x float64) {
 // scheduling). The objective value is mirrored into an atomicMin for
 // cheap lock-free pruning reads.
 type incumbent struct {
-	mu    sync.Mutex
-	found bool
-	met   mapping.Metrics
-	task  int64
-	ends  []int
-	masks []uint64
-	nEnds int
-	bound *atomicMin
-	cmp   func(a, b mapping.Metrics) int // <0: a strictly better
-	objOf func(met mapping.Metrics) float64
+	mu     sync.Mutex
+	found  bool
+	met    mapping.Metrics
+	task   int64
+	ends   []int
+	masks  []uint64 // flat, stride words per interval
+	stride int
+	nEnds  int
+	bound  *atomicMin
+	cmp    func(a, b mapping.Metrics) int // <0: a strictly better
+	objOf  func(met mapping.Metrics) float64
 }
 
-func newIncumbent(n int, cmp func(a, b mapping.Metrics) int, objOf func(mapping.Metrics) float64) *incumbent {
+func newIncumbent(n, stride int, cmp func(a, b mapping.Metrics) int, objOf func(mapping.Metrics) float64) *incumbent {
 	return &incumbent{
-		ends:  make([]int, n),
-		masks: make([]uint64, n),
-		bound: newAtomicMin(),
-		cmp:   cmp,
-		objOf: objOf,
+		ends:   make([]int, n),
+		masks:  make([]uint64, n*stride),
+		stride: stride,
+		bound:  newAtomicMin(),
+		cmp:    cmp,
+		objOf:  objOf,
 	}
 }
 
@@ -411,10 +449,13 @@ func (inc *incumbent) result(ev *mapping.Evaluator) (Result, error) {
 	if !inc.found {
 		return Result{}, ErrInfeasible
 	}
-	return Result{
-		Mapping: ev.ToMapping(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds]),
-		Metrics: inc.met,
-	}, nil
+	var mp *mapping.Mapping
+	if inc.stride == 1 {
+		mp = ev.ToMapping(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds])
+	} else {
+		mp = ev.ToMappingW(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds*inc.stride])
+	}
+	return Result{Mapping: mp, Metrics: inc.met}, nil
 }
 
 // latencyStrictlyWorse reports lb > bound beyond the shared latency
@@ -424,22 +465,21 @@ func latencyStrictlyWorse(lb, bound float64) bool {
 	return lb > bound+latencyTol*math.Max(1, math.Abs(bound))
 }
 
-// fillMaskedMapping converts a boundary representation into dst without
-// allocating: dst's slices are resliced and the replica ids written into
-// procBuf (which must hold at least m ints).
-func fillMaskedMapping(dst *mapping.Mapping, procBuf []int, ends []int, masks []uint64) *mapping.Mapping {
+// fillMaskedMapping converts a boundary representation (flat masks,
+// stride words per interval) into dst without allocating: dst's slices
+// are resliced and the replica ids written into procBuf (which must hold
+// at least m ints).
+func fillMaskedMapping(dst *mapping.Mapping, procBuf []int, ends []int, masks []uint64, stride int) *mapping.Mapping {
 	dst.Intervals = dst.Intervals[:0]
 	dst.Alloc = dst.Alloc[:0]
 	first := 0
 	used := 0
 	for j, end := range ends {
 		dst.Intervals = append(dst.Intervals, mapping.Interval{First: first, Last: end})
-		startBuf := used
-		for bm := masks[j]; bm != 0; bm &= bm - 1 {
-			procBuf[used] = bits.TrailingZeros64(bm)
-			used++
-		}
-		dst.Alloc = append(dst.Alloc, procBuf[startBuf:used:used])
+		row := bitset.Set(masks[j*stride : (j+1)*stride])
+		out := row.AppendBits(procBuf[used:used])
+		used += len(out)
+		dst.Alloc = append(dst.Alloc, out[:len(out):len(out)])
 		first = end + 1
 	}
 	return dst

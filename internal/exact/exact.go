@@ -8,12 +8,21 @@
 //
 // All four interval-mapping solvers (MinLatencyInterval, MinFPUnderLatency,
 // MinLatencyUnderFP, ParetoFront) run on the shared bitmask enumeration
-// engine of engine.go: candidates are interval boundaries plus uint64
-// replica masks evaluated through mapping.Evaluator with zero heap
+// engine of engine.go: candidates are interval boundaries plus replica
+// bitmasks evaluated through mapping.Evaluator with zero heap
 // allocations, subtrees provably worse than the incumbent (or outside the
 // constraint) are pruned, and the search fans out over Options.Workers
-// goroutines by first-interval subtree. Results are deterministic and
-// independent of the worker count.
+// goroutines by first-interval subtree. Platforms up to 64 processors
+// (62 with replication) run the uint64-register narrow search; wider
+// platforms run the multi-word bitset search of enginewide.go — same
+// pruning, budget, cancellation and determinism guarantees for any m.
+// Results are deterministic and independent of the worker count.
+//
+// Invariants the tests enforce: complete-candidate metrics are bitwise
+// identical to the slice-based mapping.Evaluate on both search paths;
+// the enumeration inner loop performs zero heap allocations per visited
+// node; and canceling Options.Ctx aborts within one node expansion,
+// returning the best incumbent found so far.
 package exact
 
 import (
@@ -53,9 +62,10 @@ type Options struct {
 	// considered (sufficient for latency-only optimization: replication
 	// can only increase latency).
 	Replication bool
-	// MaxEnum caps the number of evaluated mappings (default 5,000,000).
-	// Branch-and-bound pruned subtrees are not charged, so the same budget
-	// now covers far larger instances than full enumeration did.
+	// MaxEnum caps the number of evaluated mappings (default
+	// DefaultMaxEnum). Branch-and-bound pruned subtrees are not charged,
+	// so the same budget now covers far larger instances than full
+	// enumeration did.
 	MaxEnum int64
 	// Workers is the number of enumeration goroutines used by the four
 	// interval-mapping solvers and ForEachMappingParallel: 0 means
@@ -73,13 +83,24 @@ type Options struct {
 	// precomputation across calls. The caller is responsible for the pair
 	// actually matching the solver arguments.
 	Eval *mapping.Evaluator
+
+	// forceWide (tests only) runs the multi-word wide search even on
+	// platforms the narrow uint64 search covers, so the wide path can be
+	// property-tested exhaustively against the slice reference on small
+	// instances.
+	forceWide bool
 }
+
+// DefaultMaxEnum is the enumeration budget applied when Options.MaxEnum
+// is zero. Exported so callers layering their own enumeration on top
+// (throughput's RR grouping sweep) can charge the same budget.
+const DefaultMaxEnum = 5_000_000
 
 func (o Options) maxEnum() int64 {
 	if o.MaxEnum > 0 {
 		return o.MaxEnum
 	}
-	return 5_000_000
+	return DefaultMaxEnum
 }
 
 // evaluator returns the cached evaluator when the caller supplied one and
@@ -120,9 +141,10 @@ func leqTol(x, bound float64) bool {
 // early when visit returns false. The error is ErrBudget if the cap was
 // hit.
 //
-// This is the original slice-based enumerator. It is kept as the
-// reference implementation the bitmask engine is property-tested against,
-// and as the fallback for platforms wider than mapping.MaxEvalProcs.
+// This is the original slice-based enumerator. It survives purely as the
+// reference implementation the bitmask engine (narrow and wide) is
+// property-tested against; production enumeration — any m — goes through
+// ForEachMappingParallel and the engine.
 func ForEachMapping(n, m int, opts Options, visit func(*mapping.Mapping) bool) error {
 	budget := opts.maxEnum()
 	count := int64(0)
@@ -303,23 +325,16 @@ func finish(inc *incumbent, ev *mapping.Evaluator, runErr error) (Result, error)
 	return res, nil
 }
 
-// maxReplicationProcs bounds m for the bitmask engine's replication
-// enumeration (task indices pack end·(2^m−1)+subset into an int64).
+// maxReplicationProcs bounds m for the narrow (uint64-register) engine's
+// replication enumeration (task indices pack end·(2^m−1)+subset into an
+// int64); wider replication instances run on the multi-word wide search
+// of enginewide.go, as do all platforms past mapping.MaxEvalProcs.
 const maxReplicationProcs = 62
-
-// useWideFallback reports whether the instance exceeds the bitmask
-// engine's limits and must take the original slice-based path.
-func useWideFallback(m int, replication bool) bool {
-	return m > mapping.MaxEvalProcs || (replication && m > maxReplicationProcs)
-}
 
 // MinLatencyInterval finds the latency-optimal interval mapping by
 // pruned exhaustive enumeration. Replication is skipped by default (it can
 // only increase latency) unless opts.Replication is set.
 func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (Result, error) {
-	if useWideFallback(pl.NumProcs(), opts.Replication) {
-		return minLatencyIntervalWide(p, pl, opts)
-	}
 	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
@@ -328,7 +343,7 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 	if err != nil {
 		return Result{}, err
 	}
-	inc := newIncumbent(p.NumStages(), cmpLatency, objLatency)
+	inc := newIncumbent(p.NumStages(), g.stride, cmpLatency, objLatency)
 	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, _ float64) bool {
 			return latencyStrictlyWorse(lb, inc.bound.load())
@@ -350,9 +365,6 @@ func MinLatencyInterval(p *pipeline.Pipeline, pl *platform.Platform, opts Option
 // probability already exceeds the incumbent, are cut.
 func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
 	opts.Replication = true
-	if useWideFallback(pl.NumProcs(), true) {
-		return minFPUnderLatencyWide(p, pl, maxLatency, opts)
-	}
 	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
@@ -361,7 +373,7 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 	if err != nil {
 		return Result{}, err
 	}
-	inc := newIncumbent(p.NumStages(), cmpFPThenLatency, objFP)
+	inc := newIncumbent(p.NumStages(), g.stride, cmpFPThenLatency, objFP)
 	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, prefixFP float64) bool {
 			return latencyStrictlyWorse(lb, maxLatency) || prefixFP > inc.bound.load()
@@ -382,9 +394,6 @@ func MinFPUnderLatency(p *pipeline.Pipeline, pl *platform.Platform, maxLatency f
 // enumeration with replication.
 func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
 	opts.Replication = true
-	if useWideFallback(pl.NumProcs(), true) {
-		return minLatencyUnderFPWide(p, pl, maxFailureProb, opts)
-	}
 	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return Result{}, err
@@ -393,7 +402,7 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 	if err != nil {
 		return Result{}, err
 	}
-	inc := newIncumbent(p.NumStages(), cmpLatencyThenFP, objLatency)
+	inc := newIncumbent(p.NumStages(), g.stride, cmpLatencyThenFP, objLatency)
 	runErr := g.run(opts.WorkerCount(), func(int) (pruneFunc, visitFunc) {
 		prune := func(lb, prefixFP float64) bool {
 			return prefixFP > maxFailureProb+1e-12 || latencyStrictlyWorse(lb, inc.bound.load())
@@ -418,9 +427,6 @@ func MinLatencyUnderFP(p *pipeline.Pipeline, pl *platform.Platform, maxFailurePr
 // is exact and deterministic for every worker count.
 func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
 	opts.Replication = true
-	if useWideFallback(pl.NumProcs(), true) {
-		return paretoFrontWide(p, pl, opts)
-	}
 	ev, err := opts.evaluator(p, pl)
 	if err != nil {
 		return nil, err
@@ -450,7 +456,7 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 			// InsertTagged rejects dominated candidates without cloning and
 			// resolves duplicate metric points to the lowest task, keeping
 			// the representative mappings scheduling-independent.
-			f.InsertTagged(met, fillMaskedMapping(scratch, procBuf, ends, masks), task)
+			f.InsertTagged(met, fillMaskedMapping(scratch, procBuf, ends, masks, g.stride), task)
 			return true
 		}
 		return prune, visit
@@ -476,101 +482,6 @@ func ParetoFront(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]R
 	// A canceled enumeration still surfaces the partial front so callers
 	// can serve it as a best-effort answer.
 	return results, runErr
-}
-
-// ---------------------------------------------------------------------------
-// Wide-platform fallbacks (m beyond the bitmask engine's limits — see
-// useWideFallback): the original unpruned slice-based search. Practically
-// only reachable for degenerate shapes (tiny n) before the budget trips,
-// but keeps the public API total.
-
-func minLatencyIntervalWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) (Result, error) {
-	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
-	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
-		met, err := mapping.Evaluate(p, pl, mp)
-		if err != nil {
-			return true
-		}
-		if met.Latency < best.Metrics.Latency {
-			best = Result{Mapping: mp.Clone(), Metrics: met}
-		}
-		return true
-	})
-	return finishWide(best, err)
-}
-
-// finishWide mirrors finish for the slice-based fallbacks: a canceled run
-// still returns the best mapping seen so far (when any) alongside the
-// ErrCanceled error.
-func finishWide(best Result, runErr error) (Result, error) {
-	if runErr != nil {
-		if errors.Is(runErr, ErrCanceled) && best.Mapping != nil {
-			return best, runErr
-		}
-		return Result{}, runErr
-	}
-	if best.Mapping == nil {
-		return Result{}, fmt.Errorf("interval enumeration: %w", ErrInfeasible)
-	}
-	return best, nil
-}
-
-func minFPUnderLatencyWide(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
-	best := Result{Metrics: mapping.Metrics{FailureProb: math.Inf(1)}}
-	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
-		met, err := mapping.Evaluate(p, pl, mp)
-		if err != nil {
-			return true
-		}
-		if !leqTol(met.Latency, maxLatency) {
-			return true
-		}
-		if met.FailureProb < best.Metrics.FailureProb ||
-			(met.FailureProb == best.Metrics.FailureProb && met.Latency < best.Metrics.Latency) {
-			best = Result{Mapping: mp.Clone(), Metrics: met}
-		}
-		return true
-	})
-	return finishWide(best, err)
-}
-
-func minLatencyUnderFPWide(p *pipeline.Pipeline, pl *platform.Platform, maxFailureProb float64, opts Options) (Result, error) {
-	best := Result{Metrics: mapping.Metrics{Latency: math.Inf(1)}}
-	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
-		met, err := mapping.Evaluate(p, pl, mp)
-		if err != nil {
-			return true
-		}
-		if met.FailureProb > maxFailureProb+1e-12 {
-			return true
-		}
-		if met.Latency < best.Metrics.Latency ||
-			(met.Latency == best.Metrics.Latency && met.FailureProb < best.Metrics.FailureProb) {
-			best = Result{Mapping: mp.Clone(), Metrics: met}
-		}
-		return true
-	})
-	return finishWide(best, err)
-}
-
-func paretoFrontWide(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
-	front := &frontier.Front{}
-	err := ForEachMapping(p.NumStages(), pl.NumProcs(), opts, func(mp *mapping.Mapping) bool {
-		met, err := mapping.Evaluate(p, pl, mp)
-		if err != nil {
-			return true
-		}
-		front.Insert(met, mp)
-		return true
-	})
-	if err != nil && !errors.Is(err, ErrCanceled) {
-		return nil, err
-	}
-	results := make([]Result, 0, front.Len())
-	for _, e := range front.Entries() {
-		results = append(results, Result{Mapping: e.Mapping, Metrics: e.Metrics})
-	}
-	return results, err
 }
 
 func sortResultsByLatency(rs []Result) {

@@ -29,14 +29,6 @@ func ParetoFrontParallel(p *pipeline.Pipeline, pl *platform.Platform, opts Optio
 // stops the whole enumeration. The error is ErrBudget if opts.MaxEnum was
 // exceeded (the budget is shared across workers).
 func ForEachMappingParallel(n, m int, opts Options, newVisitor func(worker int) func(task int64, mp *mapping.Mapping) bool) error {
-	if m > 0 && useWideFallback(m, opts.Replication) {
-		// Beyond the bitmask engine's limits: run the slice-based
-		// enumerator sequentially through a single visitor (task 0).
-		visit := newVisitor(0)
-		return ForEachMapping(n, m, opts, func(mp *mapping.Mapping) bool {
-			return visit(0, mp)
-		})
-	}
 	g, err := newEngine(nil, n, m, opts)
 	if err != nil {
 		return err
@@ -49,7 +41,7 @@ func ForEachMappingParallel(n, m int, opts Options, newVisitor func(worker int) 
 		}
 		procBuf := make([]int, m)
 		visit := func(task int64, ends []int, masks []uint64, _ mapping.Metrics) bool {
-			return visitMapping(task, fillMaskedMapping(scratch, procBuf, ends, masks))
+			return visitMapping(task, fillMaskedMapping(scratch, procBuf, ends, masks, g.stride))
 		}
 		return nil, visit
 	})

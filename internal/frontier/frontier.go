@@ -3,6 +3,13 @@
 // exact solver (reference fronts on small instances), by the heuristics
 // (archives of non-dominated mappings met during search), and by the
 // benchmark harness (trade-off curves).
+//
+// Invariant: a Front's entry sequence is a deterministic function of the
+// inserted (metrics, task) multiset — insertion order and goroutine
+// scheduling never change the surviving entries or their representative
+// mappings (InsertTagged resolves duplicate metric points to the lowest
+// task tag). The exact parallel enumeration relies on this to merge
+// per-worker fronts reproducibly.
 package frontier
 
 import (

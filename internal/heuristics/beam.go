@@ -2,10 +2,10 @@ package heuristics
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
@@ -21,10 +21,11 @@ import (
 // O(n² · beam · m) expansions.
 //
 // The search uses singleton replica sets (replication cannot lower
-// latency) and requires m ≤ 64 (the used set is a bitmask). A partial
-// state's cost is the latency accumulated up to its cut, excluding the
-// pending outgoing communication (charged on expansion, when the next
-// processor is known), so states at the same boundary are comparable.
+// latency); the set of enrolled processors is a multi-word bitset, so
+// any platform width is supported. A partial state's cost is the latency
+// accumulated up to its cut, excluding the pending outgoing
+// communication (charged on expansion, when the next processor is
+// known), so states at the same boundary are comparable.
 //
 // ctx is polled once per stage boundary: on cancellation the search stops
 // expanding and finalizes over the complete states it has already reached
@@ -33,23 +34,20 @@ import (
 // cause — or just the error when no complete state exists yet.
 func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, beamWidth int) (Result, error) {
 	n, m := p.NumStages(), pl.NumProcs()
-	if m > 64 {
-		return Result{}, fmt.Errorf("heuristics: beam search supports m ≤ 64, got %d", m)
-	}
 	if beamWidth <= 0 {
 		beamWidth = 16
 	}
 
 	type beamState struct {
 		lat      float64
-		lastProc int    // processor of the last interval (-1 at the root)
-		used     uint64 // bitmask of enrolled processors
-		cuts     []int  // first stage of each interval so far
-		procs    []int  // processor of each interval so far
+		lastProc int        // processor of the last interval (-1 at the root)
+		used     bitset.Set // enrolled processors (any platform width)
+		cuts     []int      // first stage of each interval so far
+		procs    []int      // processor of each interval so far
 	}
 
 	beams := make([][]beamState, n+1)
-	beams[0] = []beamState{{lastProc: -1}}
+	beams[0] = []beamState{{lastProc: -1, used: bitset.Make(m)}}
 
 	prune := func(states []beamState) []beamState {
 		if len(states) <= beamWidth {
@@ -76,7 +74,7 @@ func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platfor
 		for _, st := range beams[boundary] {
 			in := p.InputSize(boundary)
 			for u := 0; u < m; u++ {
-				if st.used&(1<<uint(u)) != 0 {
+				if st.used.Test(u) {
 					continue
 				}
 				var comm float64
@@ -88,11 +86,13 @@ func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platfor
 				base := st.lat + comm
 				cuts := append(append([]int(nil), st.cuts...), boundary)
 				procs := append(append([]int(nil), st.procs...), u)
+				used := append(bitset.Set(nil), st.used...)
+				used.Add(u)
 				for end := boundary; end < n; end++ {
 					beams[end+1] = append(beams[end+1], beamState{
 						lat:      base + p.Work(boundary, end)/pl.Speed[u],
 						lastProc: u,
-						used:     st.used | 1<<uint(u),
+						used:     used,
 						cuts:     cuts,
 						procs:    procs,
 					})

@@ -18,6 +18,13 @@
 // All solvers return the best feasible mapping found; ErrNotFound means
 // the search saw no feasible mapping, which (heuristics being incomplete)
 // does not prove infeasibility.
+//
+// Invariants: every solver is deterministic for a fixed seed and
+// configuration; every long-running solver takes a context.Context and
+// returns its best-so-far result alongside a cause-wrapping error when
+// canceled. Platform width is unlimited — beam search tracks enrolled
+// processors in a multi-word bitset (internal/bitset), and the other
+// searches operate on id slices.
 package heuristics
 
 import (

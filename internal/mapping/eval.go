@@ -5,12 +5,16 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 )
 
-// MaxEvalProcs bounds the platform size for the bitmask representation:
-// replica sets are uint64 masks, so at most 64 processors.
+// MaxEvalProcs is the widest platform the single-word (uint64 mask)
+// representation covers. It is no longer a limit of the Evaluator itself:
+// wider platforms are evaluated through the multi-word replica sets of
+// internal/bitset (see the *W methods in evalwide.go), with a stride of
+// bitset.Words(m) words per replica set.
 const MaxEvalProcs = 64
 
 // Evaluator is the zero-allocation evaluation engine behind the exact
@@ -25,12 +29,17 @@ const MaxEvalProcs = 64
 //
 // The arithmetic deliberately mirrors LatencyEq1, LatencyEq2 and
 // FailureProb operation for operation, in the same order, so that the
-// metrics are bitwise identical to the slice-based evaluators.
+// metrics are bitwise identical to the slice-based evaluators. That
+// contract holds for both mask representations: the uint64 methods below
+// cover platforms up to MaxEvalProcs processors, and the *W methods of
+// evalwide.go evaluate multi-word bitset.Set replica sets for any m,
+// iterating processors in the same ascending order.
 type Evaluator struct {
 	p  *pipeline.Pipeline
 	pl *platform.Platform
 
 	n, m    int
+	stride  int // bitset words per replica set (1 when m ≤ 64)
 	commHom bool
 	b       float64 // single bandwidth when commHom
 
@@ -43,8 +52,9 @@ type Evaluator struct {
 }
 
 // NewEvaluator validates the instance once and builds the precomputed
-// state. Platforms larger than MaxEvalProcs processors are rejected (the
-// slice-based Evaluate path has no such limit).
+// state. Platforms of any width are accepted: up to MaxEvalProcs
+// processors the uint64 mask methods apply, beyond that callers use the
+// multi-word *W methods (Stride reports the words per replica set).
 func NewEvaluator(p *pipeline.Pipeline, pl *platform.Platform) (*Evaluator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -53,10 +63,7 @@ func NewEvaluator(p *pipeline.Pipeline, pl *platform.Platform) (*Evaluator, erro
 		return nil, err
 	}
 	n, m := p.NumStages(), pl.NumProcs()
-	if m > MaxEvalProcs {
-		return nil, fmt.Errorf("mapping: Evaluator supports m ≤ %d processors, got %d", MaxEvalProcs, m)
-	}
-	e := &Evaluator{p: p, pl: pl, n: n, m: m}
+	e := &Evaluator{p: p, pl: pl, n: n, m: m, stride: bitset.Words(m)}
 	e.b, e.commHom = pl.CommHomogeneous()
 
 	maxSpeed := pl.Speed[0]
@@ -117,6 +124,14 @@ func (e *Evaluator) NumStages() int { return e.n }
 
 // NumProcs returns m.
 func (e *Evaluator) NumProcs() int { return e.m }
+
+// Stride returns the number of bitset words per replica set
+// (bitset.Words(m); 1 on platforms within the uint64 mask width).
+func (e *Evaluator) Stride() int { return e.stride }
+
+// Wide reports whether replica sets exceed the single-word uint64
+// representation, i.e. whether callers must use the *W methods.
+func (e *Evaluator) Wide() bool { return e.m > MaxEvalProcs }
 
 // CommHom reports whether the platform is communication homogeneous, i.e.
 // whether latency evaluation dispatches to Eq. (1) or Eq. (2).
@@ -318,6 +333,10 @@ func BoundaryRep(m *Mapping) (ends []int, masks []uint64, ok bool) {
 func (e *Evaluator) EvaluateMapping(m *Mapping) (Metrics, error) {
 	if err := m.Validate(e.n, e.m); err != nil {
 		return Metrics{}, err
+	}
+	if e.Wide() {
+		ends, words := BoundaryRepWide(m, e.stride)
+		return e.EvalW(ends, words), nil
 	}
 	ends, masks, ok := BoundaryRep(m)
 	if !ok {

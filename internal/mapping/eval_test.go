@@ -149,14 +149,22 @@ func TestNewEvaluatorErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewEvaluator(p, big); err == nil {
-		t.Error("m=65 accepted (mask representation holds at most 64 processors)")
+	wide, err := NewEvaluator(p, big)
+	if err != nil {
+		t.Errorf("m=65 rejected: %v (wide platforms use the multi-word representation)", err)
+	}
+	if !wide.Wide() || wide.Stride() != 2 {
+		t.Errorf("m=65: Wide() = %v, Stride() = %d, want true, 2", wide.Wide(), wide.Stride())
 	}
 	ok, err := platform.NewFullyHomogeneous(64, 1, 1, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewEvaluator(p, ok); err != nil {
+	narrow, err := NewEvaluator(p, ok)
+	if err != nil {
 		t.Errorf("m=64 rejected: %v", err)
+	}
+	if narrow.Wide() || narrow.Stride() != 1 {
+		t.Errorf("m=64: Wide() = %v, Stride() = %d, want false, 1", narrow.Wide(), narrow.Stride())
 	}
 }

@@ -20,6 +20,15 @@
 // MonteCarlo draws a random failure pattern from the fp_u and measures
 // empirical success rates and latencies; the success rate converges to
 // 1 − FP and per-run latencies never exceed the worst case.
+//
+// Invariants: runs are deterministic for a fixed RNG seed — the event
+// heap fires in (time, insertion order) sequence with no map iteration
+// anywhere on the hot path — and the parallel Monte-Carlo campaigns
+// derive one RNG stream per worker from the seed, so aggregates are
+// identical for every worker count. Per-run scratch (event arenas, chain
+// state) is pooled via sync.Pool; steady-state sweeps allocate O(1) per
+// run, not per event. Platform width is unlimited (replica sets are id
+// slices here, not bitmasks).
 package sim
 
 import (

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/exact"
 	"repro/internal/mapping"
@@ -64,6 +65,69 @@ func forEachGrouping(procs []int, visit func(groups [][]int) bool) bool {
 	return rec(1, 0)
 }
 
+// rrGuard bounds the per-mapping grouping sweep. A single interval
+// mapping fans out into a product of Bell numbers of RR groupings — on
+// wide platforms (where enumerated replica sets can hold dozens of
+// processors) that product is astronomical, so every evaluated grouping
+// charges the shared exact.Options budget and cancellation is polled
+// inside the sweep. This keeps budgets and cancellation behaving
+// uniformly for any platform width instead of only guarding the
+// interval-mapping level.
+type rrGuard struct {
+	ctx      context.Context
+	done     <-chan struct{}
+	budget   int64
+	count    atomic.Int64 // shared across enumeration workers
+	tripped  atomic.Bool
+	canceled atomic.Bool
+}
+
+func newRRGuard(opts exact.Options) *rrGuard {
+	g := &rrGuard{ctx: opts.Ctx, budget: opts.MaxEnum}
+	if g.budget <= 0 {
+		g.budget = exact.DefaultMaxEnum
+	}
+	if opts.Ctx != nil {
+		g.done = opts.Ctx.Done()
+	}
+	return g
+}
+
+// step charges one evaluated grouping and reports whether the sweep may
+// continue.
+func (g *rrGuard) step() bool {
+	c := g.count.Add(1)
+	if c > g.budget {
+		g.tripped.Store(true)
+		return false
+	}
+	if g.done != nil && c&255 == 0 {
+		select {
+		case <-g.done:
+			g.canceled.Store(true)
+			return false
+		default:
+		}
+	}
+	return true
+}
+
+// finishErr folds the guard outcome into the enumeration error: a tripped
+// budget surfaces as exact.ErrBudget, a cancellation as exact.ErrCanceled
+// wrapping the context cause (matching the engine's own error shape).
+func (g *rrGuard) finishErr(runErr error) error {
+	if runErr != nil {
+		return runErr
+	}
+	if g.canceled.Load() {
+		return fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(g.ctx))
+	}
+	if g.tripped.Load() {
+		return exact.ErrBudget
+	}
+	return nil
+}
+
 // triBest is one worker's incumbent for MinPeriodUnderConstraints,
 // tagged with the first-interval subtree it was found in so per-worker
 // answers merge deterministically regardless of scheduling.
@@ -94,16 +158,21 @@ func triBetter(a Metrics, taskA int64, b Metrics, taskB int64) bool {
 // enumeration fans out over opts.Workers goroutines (0 = GOMAXPROCS) via
 // the exact package's first-interval decomposition; the result is
 // deterministic for every worker count.
+// Every evaluated RR grouping — not just every interval mapping — charges
+// opts.MaxEnum, and cancellation is polled inside the grouping sweep, so
+// budgets and deadlines hold even on wide platforms whose replica sets
+// make a single mapping's grouping space astronomical.
 // Cancelling opts.Ctx stops the enumeration early; the best RR mapping
 // found so far (when any) is returned alongside the exact.ErrCanceled
 // error so callers can grade it as a partial answer.
 func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxLatency, maxFailProb float64, opts exact.Options) (TriResult, error) {
 	opts.Replication = true
+	guard := newRRGuard(opts)
 	bests := make([]triBest, opts.WorkerCount())
 	runErr := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
 		wb := &bests[w]
 		return func(task int64, m *mapping.Mapping) bool {
-			enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+			return enumerateGroupings(m, 0, FromMapping(m), guard, func(r *RRMapping) {
 				met, err := r.Evaluate(p, pl)
 				if err != nil {
 					return
@@ -115,9 +184,9 @@ func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxL
 					*wb = triBest{res: TriResult{Mapping: cloneRR(r), Metrics: met}, task: task, found: true}
 				}
 			})
-			return true
 		}
 	})
+	runErr = guard.finishErr(runErr)
 	if runErr != nil && !errors.Is(runErr, exact.ErrCanceled) {
 		return TriResult{}, runErr
 	}
@@ -140,26 +209,28 @@ func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxL
 // failure probability, period) over RR mappings of a small instance,
 // fanning the mapping enumeration out over opts.Workers goroutines with
 // one front per worker, merged at the end. The metric set is exact and
-// scheduling-independent.
+// scheduling-independent. Groupings charge opts.MaxEnum and poll
+// cancellation exactly as in MinPeriodUnderConstraints.
 // Cancelling opts.Ctx stops the enumeration early; the partial front
 // accumulated so far is returned alongside the exact.ErrCanceled error.
 func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) (*TriFront, error) {
 	opts.Replication = true
+	guard := newRRGuard(opts)
 	fronts := make([]*TriFront, opts.WorkerCount())
 	runErr := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
 		front := &TriFront{}
 		fronts[w] = front
 		return func(task int64, m *mapping.Mapping) bool {
-			enumerateGroupings(m, 0, FromMapping(m), func(r *RRMapping) {
+			return enumerateGroupings(m, 0, FromMapping(m), guard, func(r *RRMapping) {
 				met, err := r.Evaluate(p, pl)
 				if err != nil {
 					return
 				}
 				front.InsertTagged(met, r, task)
 			})
-			return true
 		}
 	})
+	runErr = guard.finishErr(runErr)
 	if runErr != nil && !errors.Is(runErr, exact.ErrCanceled) {
 		return nil, runErr
 	}
@@ -177,18 +248,24 @@ func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) 
 }
 
 // enumerateGroupings recursively replaces interval j's single group by
-// every set partition of its replica set.
-func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, visit func(*RRMapping)) {
+// every set partition of its replica set, charging each complete RR
+// grouping against the guard. It reports whether the sweep ran to
+// completion (false: budget tripped or canceled — stop the mapping
+// enumeration too).
+func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, guard *rrGuard, visit func(*RRMapping)) bool {
 	if j == len(m.Alloc) {
+		if !guard.step() {
+			return false
+		}
 		visit(r)
-		return
-	}
-	forEachGrouping(m.Alloc[j], func(groups [][]int) bool {
-		r.Groups[j] = groups
-		enumerateGroupings(m, j+1, r, visit)
 		return true
+	}
+	ok := forEachGrouping(m.Alloc[j], func(groups [][]int) bool {
+		r.Groups[j] = groups
+		return enumerateGroupings(m, j+1, r, guard, visit)
 	})
 	r.Groups[j] = [][]int{m.Alloc[j]}
+	return ok
 }
 
 func cloneRROrNil(r *RRMapping) *RRMapping {

@@ -1,0 +1,84 @@
+package throughput
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// The tri-criteria enumerations ride on exact.ForEachMappingParallel,
+// which past m = 62 (replication) switches to the multi-word wide
+// search. These tests pin the wide plumbing: budgets trip cleanly,
+// cancellation returns promptly, and PeriodOverlap accepts replica ids
+// beyond bit 64.
+
+func TestMinPeriodWideBudgetTrips(t *testing.T) {
+	p := pipeline.Uniform(1, 1, 1)
+	pl, err := platform.NewFullyHomogeneous(65, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MinPeriodUnderConstraints(p, pl, math.Inf(1), 1, exact.Options{MaxEnum: 10})
+	if !errors.Is(err, exact.ErrBudget) {
+		t.Errorf("err = %v, want exact.ErrBudget via the wide search", err)
+	}
+}
+
+func TestTriParetoWideCancelPrompt(t *testing.T) {
+	p := pipeline.Uniform(4, 2, 1)
+	pl, err := platform.NewFullyHomogeneous(70, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	front, err := TriPareto(p, pl, exact.Options{MaxEnum: 1 << 62, Ctx: ctx})
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("canceled wide TriPareto took %v, want well under 500ms", elapsed)
+	}
+	if !errors.Is(err, exact.ErrCanceled) {
+		t.Fatalf("err = %v, want exact.ErrCanceled", err)
+	}
+	if front == nil {
+		t.Fatal("canceled TriPareto must surface its partial front")
+	}
+}
+
+func TestPeriodOverlapHighReplicaIDs(t *testing.T) {
+	m := 80
+	p := pipeline.Uniform(2, 4, 1)
+	pl, err := platform.NewFullyHomogeneous(m, 2, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &mapping.Mapping{
+		Intervals: []mapping.Interval{{First: 0, Last: 0}, {First: 1, Last: 1}},
+		Alloc:     [][]int{{3, 70}, {79}},
+	}
+	period, err := PeriodOverlap(p, pl, mp)
+	if err != nil {
+		t.Fatalf("PeriodOverlap at m=80: %v", err)
+	}
+	if period <= 0 || math.IsInf(period, 0) || math.IsNaN(period) {
+		t.Errorf("period = %v, want a positive finite value", period)
+	}
+	// GreedyRR must accept and improve wide mappings too.
+	res, err := GreedyRR(context.Background(), p, pl, mp, math.Inf(1), 1)
+	if err != nil {
+		t.Fatalf("GreedyRR at m=80: %v", err)
+	}
+	if res.Mapping == nil || res.Metrics.Period <= 0 {
+		t.Errorf("GreedyRR returned %+v", res)
+	}
+}

@@ -35,7 +35,7 @@ type Session struct {
 	pipe *Pipeline
 	plat *Platform
 	cfg  sessionConfig
-	ev   *mapping.Evaluator // nil when the platform exceeds the bitmask width
+	ev   *mapping.Evaluator
 }
 
 // sessionConfig carries the options applied at NewSession time.
@@ -114,16 +114,14 @@ func NewSession(p *Pipeline, pl *Platform, opts ...SessionOption) (*Session, err
 	if s.cfg.anneal.Seed == 0 {
 		s.cfg.anneal.Seed = s.cfg.seed
 	}
-	// Platforms wider than the bitmask representation run through the
-	// slice-based fallbacks; everything still works, just without the
-	// cached zero-allocation path.
-	if pl.NumProcs() <= mapping.MaxEvalProcs {
-		ev, err := mapping.NewEvaluator(p, pl)
-		if err != nil {
-			return nil, err
-		}
-		s.ev = ev
+	// The evaluator covers every platform width: up to 64 processors it
+	// scores uint64 replica masks, beyond that the multi-word bitset
+	// representation — both zero-allocation in the solvers' hot paths.
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		return nil, err
 	}
+	s.ev = ev
 	return s, nil
 }
 
@@ -203,13 +201,9 @@ func (s *Session) Pareto(ctx context.Context) (*Front, Certainty, error) {
 }
 
 // Evaluate computes both metrics of an interval mapping through the
-// session's cached evaluator (falling back to the slice path on platforms
-// wider than the bitmask width). The mapping is validated.
+// session's cached evaluator. The mapping is validated.
 func (s *Session) Evaluate(m *Mapping) (Metrics, error) {
-	if s.ev != nil {
-		return s.ev.EvaluateMapping(m)
-	}
-	return mapping.Evaluate(s.pipe, s.plat, m)
+	return s.ev.EvaluateMapping(m)
 }
 
 // Bounds computes the polynomial two-sided bounds on the latency-optimal
