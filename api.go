@@ -234,7 +234,7 @@ func IntervalLatencyBounds(p *Pipeline, pl *Platform) (IntervalBounds, error) {
 // latency-minimal interval mappings on heterogeneous platforms (the
 // §4.1 open problem); beamWidth ≤ 0 selects the default (16).
 func BeamSearchMinLatency(p *Pipeline, pl *Platform, beamWidth int) (*Mapping, Metrics, error) {
-	res, err := heuristics.BeamSearchMinLatency(context.Background(), p, pl, beamWidth)
+	res, err := heuristics.BeamSearchMinLatency(context.Background(), &heuristics.Problem{Pipe: p, Plat: pl}, beamWidth)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

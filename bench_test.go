@@ -55,7 +55,7 @@ func BenchmarkE2Fig5(b *testing.B) {
 func BenchmarkE2Fig5DP(b *testing.B) {
 	p, pl := workload.Fig5()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold); err != nil {
+		if _, err := exact.MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold, exact.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -417,7 +417,7 @@ func BenchmarkE17BeamSearch(b *testing.B) {
 	pl := platform.RandomFullyHeterogeneous(rng, 48, 1, 10, 0, 1, 1, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristics.BeamSearchMinLatency(context.Background(), p, pl, 16); err != nil {
+		if _, err := heuristics.BeamSearchMinLatency(context.Background(), &heuristics.Problem{Pipe: p, Plat: pl}, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -549,10 +549,56 @@ func BenchmarkWideEvaluate(b *testing.B) {
 	}
 }
 
+// heurBenchProblem builds the m-processor fully heterogeneous heuristics
+// problem used by the wide greedy/anneal benchmarks: minimize FP under a
+// latency bound 1.5× the fastest single processor, which is binding
+// enough that greedy grows the mapping over many improvement rounds (the
+// pre-refactor worst case). The evaluator is cached on the problem, so
+// iterations measure the search, not the precomputation.
+func heurBenchProblem(b *testing.B, n, m int) *heuristics.Problem {
+	b.Helper()
+	p, pl := wideBenchInstance(b, n, m)
+	ref, err := mapping.Evaluate(p, pl, mapping.NewSingleInterval(n, []int{pl.FastestProc()}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &heuristics.Problem{Pipe: p, Plat: pl, Goal: heuristics.MinFP, Bound: ref.Latency * 1.5}
+}
+
+// BenchmarkGreedyM80 times the full-het m = 80 greedy solve on the shared
+// delta search state — the shape whose clone-path sweeps cost ~28s before
+// the heuristics refactor (top-k bounded structural lookahead, apply/undo
+// move scoring, zero allocations in the sweeps).
+func BenchmarkGreedyM80(b *testing.B) {
+	pr := heurBenchProblem(b, 12, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.Greedy(context.Background(), pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnealDelta times the annealing walk on the incremental state
+// at m = 80: each iteration applies, scores and (when rejected) undoes a
+// move in place instead of cloning and re-validating a Mapping.
+func BenchmarkAnnealDelta(b *testing.B) {
+	pr := heurBenchProblem(b, 12, 80)
+	cfg := heuristics.AnnealConfig{Seed: 3, Iters: 2000, Restarts: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.Anneal(context.Background(), pr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWideBeamSearch: the scalable wide-platform heuristic —
 // session beam search over multi-word used-sets at m = 128 (the greedy +
-// annealing Solve route still runs at this width but is minutes-slow;
-// its scaling is tracked as a ROADMAP item, not benchmarked here).
+// annealing Solve route runs at this width too since the delta refactor;
+// see BenchmarkGreedyM80).
 func BenchmarkWideBeamSearch(b *testing.B) {
 	p, pl := wideBenchInstance(b, 8, 128)
 	s, err := NewSession(p, pl)

@@ -271,7 +271,7 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 		// sets — a strict subset of the exact enumeration space — so it
 		// can only help when the search above was heuristic or partial.
 		if err != nil || (res.Certainty != ProvablyOptimal && res.Certainty != ExhaustivelyOptimal) {
-			if beam, beamErr := heuristics.BeamSearchMinLatency(ctx, pr.Pipeline, pr.Platform, 32); beam.Mapping != nil {
+			if beam, beamErr := heuristics.BeamSearchMinLatency(ctx, heuristicProblem(pr, opts), 32); beam.Mapping != nil {
 				if err != nil || beam.Metrics.Latency < res.Metrics.Latency {
 					cert := Heuristic
 					if beamErr != nil { // canceled mid-search: best-so-far
@@ -320,13 +320,16 @@ func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	// even the polynomial DP, which is fast but not interruptible once
 	// running. Serve the sweep-based best-effort answer immediately.
 	if ctx.Err() != nil {
-		return solvePartialFallback(pr, fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(ctx)))
+		return solvePartialFallback(pr, opts, fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(ctx)))
 	}
 	if !opts.ForceHeuristic {
 		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs {
-			res, err := solveBitmaskDP(pr)
+			res, err := solveBitmaskDP(ctx, pr)
 			if err == nil || errors.Is(err, ErrInfeasible) {
 				return res, err
+			}
+			if errors.Is(err, exact.ErrCanceled) {
+				return solvePartialFallback(pr, opts, err)
 			}
 		}
 		if EstimateMappingCount(n, m) <= opts.exactBudget() {
@@ -335,7 +338,7 @@ func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
 				return res, err
 			}
 			if errors.Is(err, exact.ErrCanceled) {
-				return solvePartialFallback(pr, err)
+				return solvePartialFallback(pr, opts, err)
 			}
 			// Enumeration failed for another reason: fall through.
 		}
@@ -349,8 +352,8 @@ func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
 // platform classes even contains the true optimum. cancelErr wraps the
 // context's cause; it is propagated (together with ErrNotFound) when even
 // the sweep sees no feasible mapping.
-func solvePartialFallback(pr Problem, cancelErr error) (Result, error) {
-	hp := heuristicProblem(pr)
+func solvePartialFallback(pr Problem, opts Options, cancelErr error) (Result, error) {
+	hp := heuristicProblem(pr, opts)
 	if sweep, err := heuristics.SingleIntervalSweep(hp); err == nil {
 		return Result{sweep.Mapping, sweep.Metrics, Partial, "single-interval sweep (canceled before search)"}, nil
 	}
@@ -358,20 +361,22 @@ func solvePartialFallback(pr Problem, cancelErr error) (Result, error) {
 }
 
 // solveBitmaskDP routes to the O(n²·3^m) exact dynamic program for
-// communication-homogeneous platforms.
-func solveBitmaskDP(pr Problem) (Result, error) {
+// communication-homogeneous platforms. The DP polls ctx through its layer
+// loop, so a mid-run cancellation surfaces as exact.ErrCanceled and the
+// caller falls back to the sweep-based partial answer.
+func solveBitmaskDP(ctx context.Context, pr Problem) (Result, error) {
 	var res exact.Result
 	var err error
 	var method string
 	if pr.Objective == MinimizeFailureProb {
-		res, err = exact.MinFPUnderLatencyDP(pr.Pipeline, pr.Platform, pr.MaxLatency)
+		res, err = exact.MinFPUnderLatencyDP(pr.Pipeline, pr.Platform, pr.MaxLatency, exact.Options{Ctx: ctx})
 		method = "bitmask DP (min FP s.t. latency)"
 	} else {
 		bound := pr.MaxFailProb
 		if pr.fpUnconstrained() {
 			bound = 1
 		}
-		res, err = exact.MinLatencyUnderFPDP(pr.Pipeline, pr.Platform, bound)
+		res, err = exact.MinLatencyUnderFPDP(pr.Pipeline, pr.Platform, bound, exact.Options{Ctx: ctx})
 		method = "bitmask DP (min latency s.t. FP)"
 	}
 	if errors.Is(err, exact.ErrInfeasible) {
@@ -415,9 +420,11 @@ func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
 }
 
 // heuristicProblem translates the core problem into the heuristics
-// package's goal/bound form.
-func heuristicProblem(pr Problem) *heuristics.Problem {
-	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform}
+// package's goal/bound form, handing down the Session-cached evaluator
+// (when one is configured) so every heuristic scores candidates through
+// the shared precomputed state instead of rebuilding it per call.
+func heuristicProblem(pr Problem, opts Options) *heuristics.Problem {
+	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform, Eval: opts.Eval}
 	if pr.Objective == MinimizeFailureProb {
 		hp.Goal = heuristics.MinFP
 		hp.Bound = pr.MaxLatency
@@ -432,7 +439,7 @@ func heuristicProblem(pr Problem) *heuristics.Problem {
 }
 
 func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, error) {
-	hp := heuristicProblem(pr)
+	hp := heuristicProblem(pr, opts)
 	best := Result{}
 	found := false
 	// The ctx-aware searches return their best-so-far result alongside a
@@ -571,8 +578,8 @@ func ParetoCtx(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform,
 			return front, ExhaustivelyOptimal, nil
 		}
 	}
-	front := heuristics.ParetoSearch(ctx, &heuristics.Problem{Pipe: p, Plat: pl}, opts.Anneal)
-	if ctx.Err() != nil {
+	front, hErr := heuristics.ParetoSearch(ctx, &heuristics.Problem{Pipe: p, Plat: pl, Eval: opts.Eval}, opts.Anneal)
+	if hErr != nil || ctx.Err() != nil {
 		// A truncated sweep that archived nothing is a failure, not an
 		// empty trade-off curve: mirror Solve's contract (result or
 		// error, never a silent empty success).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
@@ -39,7 +40,15 @@ type dpEntry struct {
 // bitmaskDP builds the full DP table and returns the global Pareto set of
 // complete mappings as (entries at layer n, per mask) flattened, already
 // including the final δ_n/b term.
-func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform) ([]Result, error) {
+//
+// The layer loop is interruptible: when opts.Ctx carries a cancelable
+// context, a watcher goroutine flips an abort flag the transition loop
+// checks per (mask, subset) pair, so cancellation latency is one subset
+// expansion rather than a full 3^m sweep. A canceled run returns
+// ErrCanceled wrapping the context's cause (the DP has no usable partial
+// answer — complete mappings only materialize once the last layer is
+// reached).
+func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
 	b, ok := pl.CommHomogeneous()
 	if !ok {
 		return nil, fmt.Errorf("exact: the bitmask DP requires a communication-homogeneous platform")
@@ -48,6 +57,25 @@ func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform) ([]Result, error) {
 	if m > MaxBitmaskProcs {
 		return nil, fmt.Errorf("exact: bitmask DP supports m ≤ %d, got %d", MaxBitmaskProcs, m)
 	}
+	var abort atomic.Bool
+	var stopWatch chan struct{}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, canceledErr(opts.Ctx)
+		}
+		if done := opts.Ctx.Done(); done != nil {
+			stopWatch = make(chan struct{})
+			defer close(stopWatch)
+			go func() {
+				select {
+				case <-done:
+					abort.Store(true)
+				case <-stopWatch:
+				}
+			}()
+		}
+	}
+
 	full := 1 << m
 	// Precompute per subset: min speed and failure product.
 	minSpeed := make([]float64, full)
@@ -98,6 +126,9 @@ func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform) ([]Result, error) {
 				continue // no processors left for the remaining stages
 			}
 			for sub := free; sub > 0; sub = (sub - 1) & free {
+				if abort.Load() {
+					return nil, canceledErr(opts.Ctx)
+				}
 				k := float64(bits.OnesCount(uint(sub)))
 				commIn := k * p.Delta[i] / b
 				logTerm := math.Log1p(-prodFP[sub]) // log(1 − Π fp); −Inf if product is 1
@@ -193,14 +224,16 @@ func reconstruct(dp []map[int][]dpEntry, layer, mask, idx int) *mapping.Mapping 
 // interval mappings of a Communication Homogeneous platform with the
 // bitmask dynamic program (m ≤ MaxBitmaskProcs). It matches ParetoFront
 // exactly but runs in O(n²·3^m) instead of enumerating every mapping.
-func ParetoCommHomDP(p *pipeline.Pipeline, pl *platform.Platform) ([]Result, error) {
-	return bitmaskDP(p, pl)
+// Only opts.Ctx is honored (the DP is sequential and needs no budget:
+// pruned subtrees don't exist, the table is polynomial in n).
+func ParetoCommHomDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
+	return bitmaskDP(p, pl, opts)
 }
 
 // MinFPUnderLatencyDP answers "minimize FP subject to latency ≤ L" from
 // the DP front.
-func MinFPUnderLatencyDP(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64) (Result, error) {
-	front, err := bitmaskDP(p, pl)
+func MinFPUnderLatencyDP(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
+	front, err := bitmaskDP(p, pl, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -218,8 +251,8 @@ func MinFPUnderLatencyDP(p *pipeline.Pipeline, pl *platform.Platform, maxLatency
 
 // MinLatencyUnderFPDP answers "minimize latency subject to FP ≤ F" from
 // the DP front.
-func MinLatencyUnderFPDP(p *pipeline.Pipeline, pl *platform.Platform, maxFailProb float64) (Result, error) {
-	front, err := bitmaskDP(p, pl)
+func MinLatencyUnderFPDP(p *pipeline.Pipeline, pl *platform.Platform, maxFailProb float64, opts Options) (Result, error) {
+	front, err := bitmaskDP(p, pl, opts)
 	if err != nil {
 		return Result{}, err
 	}

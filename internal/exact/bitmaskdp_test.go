@@ -1,11 +1,13 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
@@ -15,7 +17,7 @@ import (
 
 func TestBitmaskDPRequiresCommHom(t *testing.T) {
 	p, pl := fig34()
-	if _, err := ParetoCommHomDP(p, pl); err == nil {
+	if _, err := ParetoCommHomDP(p, pl, Options{}); err == nil {
 		t.Error("fully heterogeneous platform accepted")
 	}
 }
@@ -32,7 +34,7 @@ func fig34() (*pipeline.Pipeline, *platform.Platform) {
 func TestBitmaskDPRejectsLargeM(t *testing.T) {
 	p := pipeline.Uniform(2, 1, 1)
 	pl, _ := platform.NewFullyHomogeneous(MaxBitmaskProcs+1, 1, 1, 0.5)
-	if _, err := ParetoCommHomDP(p, pl); err == nil {
+	if _, err := ParetoCommHomDP(p, pl, Options{}); err == nil {
 		t.Error("oversized platform accepted")
 	}
 }
@@ -41,7 +43,7 @@ func TestBitmaskDPRejectsLargeM(t *testing.T) {
 // optimum as the enumeration, orders of magnitude fewer states.
 func TestBitmaskDPFig5(t *testing.T) {
 	p, pl := workload.Fig5()
-	res, err := MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold)
+	res, err := MinFPUnderLatencyDP(p, pl, workload.Fig5LatencyThreshold, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestBitmaskDPMatchesEnumeration(t *testing.T) {
 		p := pipeline.Random(rng, n, 1, 5, 1, 5)
 		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 1+rng.Float64()*3)
 
-		dpFront, err := ParetoCommHomDP(p, pl)
+		dpFront, err := ParetoCommHomDP(p, pl, Options{})
 		if err != nil {
 			return false
 		}
@@ -111,7 +113,7 @@ func TestBitmaskDPQueriesMatch(t *testing.T) {
 		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 2)
 
 		L := 1 + rng.Float64()*40
-		a, errA := MinFPUnderLatencyDP(p, pl, L)
+		a, errA := MinFPUnderLatencyDP(p, pl, L, Options{})
 		b, errB := MinFPUnderLatency(p, pl, L, Options{})
 		if (errA == nil) != (errB == nil) {
 			return false
@@ -121,7 +123,7 @@ func TestBitmaskDPQueriesMatch(t *testing.T) {
 		}
 
 		F := rng.Float64()
-		c, errC := MinLatencyUnderFPDP(p, pl, F)
+		c, errC := MinLatencyUnderFPDP(p, pl, F, Options{})
 		d, errD := MinLatencyUnderFP(p, pl, F, Options{})
 		if (errC == nil) != (errD == nil) {
 			return false
@@ -139,10 +141,45 @@ func TestBitmaskDPQueriesMatch(t *testing.T) {
 func TestBitmaskDPInfeasible(t *testing.T) {
 	p := pipeline.Uniform(2, 1, 1)
 	pl, _ := platform.NewFullyHomogeneous(2, 1, 1, 0.5)
-	if _, err := MinFPUnderLatencyDP(p, pl, 0.001); !errors.Is(err, ErrInfeasible) {
+	if _, err := MinFPUnderLatencyDP(p, pl, 0.001, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
-	if _, err := MinLatencyUnderFPDP(p, pl, 0.01); !errors.Is(err, ErrInfeasible) {
+	if _, err := MinLatencyUnderFPDP(p, pl, 0.01, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestBitmaskDPPreCanceled: an already-done context must stop the DP
+// before it builds anything.
+func TestBitmaskDPPreCanceled(t *testing.T) {
+	p, pl := workload.Fig5()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParetoCommHomDP(p, pl, Options{Ctx: ctx}); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled DP returned %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestBitmaskDPCanceledMidRun pins the ROADMAP item this PR closes: the
+// DP's layer loop polls the abort flag per subset expansion, so a
+// cancellation landing mid-run aborts promptly instead of finishing the
+// remaining 3^m sweep (the instance below runs for seconds uncancelled).
+func TestBitmaskDPCanceledMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := pipeline.Random(rng, 6, 1, 5, 1, 5)
+	pl := platform.RandomCommHomogeneous(rng, 13, 1, 10, 0.05, 0.95, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ParetoCommHomDP(p, pl, Options{Ctx: ctx})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v (after %v), want ErrCanceled wrapping context.Canceled", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort (uncancelled run needs >2.5s)", elapsed)
 	}
 }

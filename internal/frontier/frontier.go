@@ -141,6 +141,15 @@ func (f *Front) DominatesPoint(lat, fp float64) bool {
 	return i > 0 && f.entries[i-1].Metrics.FailureProb <= fp
 }
 
+// WouldKeep reports whether Insert(met, ·) would keep the point, i.e.
+// whether no current entry is at least as good in both objectives. The
+// heuristics' annealing archive uses it to materialize a mapping only
+// when the point actually survives, keeping the search walk free of
+// per-iteration allocations.
+func (f *Front) WouldKeep(met mapping.Metrics) bool {
+	return !f.DominatesPoint(met.Latency, met.FailureProb)
+}
+
 // Merge inserts every entry of other into f (preserving discovery tags,
 // so duplicate points resolve to the lowest tag) and reports how many
 // were kept.

@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 
@@ -17,8 +18,8 @@ type AnnealConfig struct {
 	Restarts int     // independent restarts (default 4)
 	InitTemp float64 // initial temperature on the normalized cost (default 0.3)
 	Cooling  float64 // geometric cooling factor per iteration (default so temp ends near 1e-3)
-	// Archive, when non-nil, collects every feasible mapping met during
-	// the search into a Pareto front (used for trade-off curves).
+	// Archive, when non-nil, collects every mapping met during the search
+	// into a Pareto front (used for trade-off curves).
 	Archive *frontier.Front
 }
 
@@ -47,6 +48,12 @@ func (c AnnealConfig) withDefaults() AnnealConfig {
 // penalty) so the search can cross infeasible ridges; only feasible states
 // are recorded. HillClimb is the InitTemp→0 special case.
 //
+// The walk runs on the shared incremental search state: each drawn move is
+// applied in place, scored through the cached per-interval terms, and
+// undone when rejected — a mapping is materialized only when it improves
+// the best-so-far or survives into the archive, so iterations themselves
+// are allocation-free.
+//
 // The walk polls ctx every few iterations: on cancellation it stops and
 // returns the best feasible mapping found so far together with an error
 // wrapping the context's cause (or just the error when nothing feasible
@@ -57,17 +64,22 @@ func Anneal(ctx context.Context, pr *Problem, cfg AnnealConfig) (Result, error) 
 	done := ctxDone(ctx)
 	canceled := false
 
+	s, err := newSearcher(pr)
+	if err != nil {
+		return Result{}, err
+	}
+
 	best := Result{}
 	found := false
-	record := func(m *mapping.Mapping, met mapping.Metrics) {
-		if cfg.Archive != nil {
-			cfg.Archive.Insert(met, m)
+	record := func(met mapping.Metrics) {
+		if cfg.Archive != nil && cfg.Archive.WouldKeep(met) {
+			cfg.Archive.InsertOwned(met, s.st.ToMapping(), 0)
 		}
 		if !pr.feasible(met) {
 			return
 		}
 		if !found || pr.better(met, best.Metrics) {
-			best = Result{Mapping: m.Clone(), Metrics: met}
+			best = Result{Mapping: s.st.ToMapping(), Metrics: met}
 			found = true
 		}
 	}
@@ -96,12 +108,9 @@ func Anneal(ctx context.Context, pr *Problem, cfg AnnealConfig) (Result, error) 
 
 restarts:
 	for r := 0; r < cfg.Restarts; r++ {
-		cur := randomState(rng, pr)
-		curMet, ok := pr.evaluate(cur)
-		if !ok {
-			continue
-		}
-		record(cur, curMet)
+		s.st.Load(randomState(rng, pr))
+		curMet, _ := s.score()
+		record(curMet)
 		curCost := cost(curMet)
 		temp := cfg.InitTemp
 		for it := 0; it < cfg.Iters; it++ {
@@ -113,20 +122,19 @@ restarts:
 				default:
 				}
 			}
-			next := neighbor(rng, pr, cur)
-			if next == nil {
-				temp *= cfg.Cooling
-				continue
-			}
-			nextMet, ok := pr.evaluate(next)
+			mv, ok := s.randomMove(rng)
 			if !ok {
 				temp *= cfg.Cooling
 				continue
 			}
-			record(next, nextMet)
+			mv.apply(s)
+			nextMet, _ := s.score()
+			record(nextMet)
 			nextCost := cost(nextMet)
 			if accept(rng, curCost, nextCost, temp) {
-				cur, curMet, curCost = next, nextMet, nextCost
+				curMet, curCost = nextMet, nextCost
+			} else {
+				mv.undo(s)
 			}
 			temp *= cfg.Cooling
 		}
@@ -207,77 +215,67 @@ func randomState(rng *rand.Rand, pr *Problem) *mapping.Mapping {
 	return mp
 }
 
-// neighbor returns a random single-move variation of m, or nil when the
-// drawn move is inapplicable (caller retries next iteration).
-func neighbor(rng *rand.Rand, pr *Problem, m *mapping.Mapping) *mapping.Mapping {
-	free := unusedProcs(m, pr.Plat.NumProcs())
+// randomMove draws a random single-move variation of the current state,
+// mirroring the legacy neighbor distribution (add, remove, migrate,
+// split, merge drawn uniformly; inapplicable draws report ok=false and
+// the caller retries next iteration). The returned move has not been
+// applied.
+func (s *searcher) randomMove(rng *rand.Rand) (move, bool) {
+	st := s.st
+	p := st.NumIntervals()
+	free := s.freeProcs()
 	switch rng.Intn(5) {
 	case 0: // add an unused processor to a random interval
 		if len(free) == 0 {
-			return nil
+			return move{}, false
 		}
-		next := m.Clone()
-		j := rng.Intn(len(next.Alloc))
-		next.Alloc[j] = append(next.Alloc[j], free[rng.Intn(len(free))])
-		return next
+		j := rng.Intn(p)
+		return move{kind: mvAdd, j: j, u: free[rng.Intn(len(free))]}, true
 	case 1: // remove a random replica
-		j := rng.Intn(len(m.Alloc))
-		if len(m.Alloc[j]) < 2 {
-			return nil
+		j := rng.Intn(p)
+		k := st.Replication(j)
+		if k < 2 {
+			return move{}, false
 		}
-		next := m.Clone()
-		i := rng.Intn(len(next.Alloc[j]))
-		next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
-		return next
+		return move{kind: mvRemove, j: j, u: nthProc(st.Mask(j), rng.Intn(k))}, true
 	case 2: // move a replica to another interval
-		if len(m.Alloc) < 2 {
-			return nil
+		if p < 2 {
+			return move{}, false
 		}
-		j := rng.Intn(len(m.Alloc))
-		if len(m.Alloc[j]) < 2 {
-			return nil
+		j := rng.Intn(p)
+		k := st.Replication(j)
+		if k < 2 {
+			return move{}, false
 		}
-		j2 := rng.Intn(len(m.Alloc))
+		j2 := rng.Intn(p)
 		if j2 == j {
-			return nil
+			return move{}, false
 		}
-		next := m.Clone()
-		i := rng.Intn(len(next.Alloc[j]))
-		u := next.Alloc[j][i]
-		next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
-		next.Alloc[j2] = append(next.Alloc[j2], u)
-		return next
+		return move{kind: mvMigrate, j: j, j2: j2, u: nthProc(st.Mask(j), rng.Intn(k))}, true
 	case 3: // split a random interval at a random point
-		j := rng.Intn(len(m.Intervals))
-		iv := m.Intervals[j]
-		if iv.Len() < 2 {
-			return nil
+		j := rng.Intn(p)
+		length := st.End(j) - st.First(j) + 1
+		if length < 2 {
+			return move{}, false
 		}
-		cut := iv.First + 1 + rng.Intn(iv.Len()-1)
-		if len(m.Alloc[j]) >= 2 && (len(free) == 0 || rng.Float64() < 0.5) {
-			k := len(m.Alloc[j])
-			right := append([]int(nil), m.Alloc[j][k/2:]...)
-			return splitSelf(m, j, cut, right)
+		cut := st.First(j) + 1 + rng.Intn(length-1)
+		if st.Replication(j) >= 2 && (len(free) == 0 || rng.Float64() < 0.5) {
+			s.setSplitSelfRight(j)
+			return move{kind: mvSplitSelf, j: j, cut: cut}, true
 		}
 		if len(free) == 0 {
-			return nil
+			return move{}, false
 		}
 		u := free[rng.Intn(len(free))]
 		if rng.Float64() < 0.5 {
-			return splitNewLeft(m, j, cut, u)
+			return move{kind: mvSplitNewLeft, j: j, cut: cut, u: u}, true
 		}
-		return splitNewRight(m, j, cut, u)
+		return move{kind: mvSplitNewRight, j: j, cut: cut, u: u}, true
 	default: // merge two adjacent intervals
-		if len(m.Intervals) < 2 {
-			return nil
+		if p < 2 {
+			return move{}, false
 		}
-		j := rng.Intn(len(m.Intervals) - 1)
-		next := m.Clone()
-		next.Intervals[j].Last = next.Intervals[j+1].Last
-		next.Alloc[j] = append(next.Alloc[j], next.Alloc[j+1]...)
-		next.Intervals = append(next.Intervals[:j+1], next.Intervals[j+2:]...)
-		next.Alloc = append(next.Alloc[:j+1], next.Alloc[j+2:]...)
-		return next
+		return move{kind: mvMerge, j: rng.Intn(p - 1)}, true
 	}
 }
 
@@ -290,22 +288,33 @@ func sortInts(s []int) {
 }
 
 // ParetoSearch runs Anneal once per goal direction with an archive and
-// returns the combined Pareto front of all feasible mappings encountered.
-// The bounds are set wide open so the archive explores the whole
-// trade-off curve. On cancellation the front holds whatever the walks
-// archived before ctx fired; callers should check ctx.Err() to grade it.
-func ParetoSearch(ctx context.Context, pr *Problem, cfg AnnealConfig) *frontier.Front {
+// returns the combined Pareto front of all mappings encountered. The
+// bounds are set wide open so the archive explores the whole trade-off
+// curve.
+//
+// Cancellation is propagated: a canceled search returns the front holding
+// whatever the walks archived before ctx fired together with an error
+// wrapping the context's cause, so callers can grade the front partial
+// (the Session surfaces this as core.Partial). ErrNotFound from a walk is
+// not an error of the front — an empty front speaks for itself.
+func ParetoSearch(ctx context.Context, pr *Problem, cfg AnnealConfig) (*frontier.Front, error) {
 	front := &frontier.Front{}
 	cfg = cfg.withDefaults()
 	cfg.Archive = front
+	pr.evaluator() // build once so the two problem copies share it
 	wide := *pr
 	wide.Goal = MinFP
 	wide.Bound = math.Inf(1)
-	Anneal(ctx, &wide, cfg)
+	_, err1 := Anneal(ctx, &wide, cfg)
 	wide2 := *pr
 	wide2.Goal = MinLatency
 	wide2.Bound = 1
 	cfg.Seed++
-	Anneal(ctx, &wide2, cfg)
-	return front
+	_, err2 := Anneal(ctx, &wide2, cfg)
+	for _, err := range []error{err1, err2} {
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return front, err
+		}
+	}
+	return front, nil
 }

@@ -7,8 +7,6 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/mapping"
-	"repro/internal/pipeline"
-	"repro/internal/platform"
 )
 
 // BeamSearchMinLatency is a scalable heuristic for the open problem of
@@ -32,7 +30,13 @@ import (
 // (single-interval completions exist after the first boundary), returning
 // that best-so-far mapping alongside an error wrapping the context's
 // cause — or just the error when no complete state exists yet.
-func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform, beamWidth int) (Result, error) {
+//
+// Like the other solvers of the layer, the winning state is scored
+// through the problem's shared evaluator (the Session-cached one when
+// routed via internal/core); pr.Goal and pr.Bound are ignored — the beam
+// minimizes latency unconstrained.
+func BeamSearchMinLatency(ctx context.Context, pr *Problem, beamWidth int) (Result, error) {
+	p, pl := pr.Pipe, pr.Plat
 	n, m := p.NumStages(), pl.NumProcs()
 	if beamWidth <= 0 {
 		beamWidth = 16
@@ -125,7 +129,11 @@ func BeamSearchMinLatency(ctx context.Context, p *pipeline.Pipeline, pl *platfor
 		mp.Intervals = append(mp.Intervals, mapping.Interval{First: start, Last: last})
 		mp.Alloc = append(mp.Alloc, []int{st.procs[i]})
 	}
-	met, err := mapping.Evaluate(p, pl, mp)
+	ev, err := pr.evaluator()
+	if err != nil {
+		return Result{}, err
+	}
+	met, err := ev.EvaluateMapping(mp)
 	if err != nil {
 		return Result{}, err
 	}

@@ -14,7 +14,7 @@ import (
 
 func TestBeamSearchFig34(t *testing.T) {
 	p, pl := fig34()
-	res, err := BeamSearchMinLatency(context.Background(), p, pl, 8)
+	res, err := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestBeamSearchAgainstExact(t *testing.T) {
 		m := 1 + rng.Intn(4)
 		p := pipeline.Random(rng, n, 1, 10, 1, 10)
 		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
-		res, err := BeamSearchMinLatency(context.Background(), p, pl, 64) // generous beam: exact here
+		res, err := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 64) // generous beam: exact here
 		if err != nil {
 			return false
 		}
@@ -62,8 +62,8 @@ func TestBeamMonotoneInWidth(t *testing.T) {
 		m := 2 + rng.Intn(4)
 		p := pipeline.Random(rng, n, 1, 10, 1, 10)
 		pl := platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0, 1, 1, 20)
-		narrow, err1 := BeamSearchMinLatency(context.Background(), p, pl, 2)
-		wide, err2 := BeamSearchMinLatency(context.Background(), p, pl, 32)
+		narrow, err1 := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 2)
+		wide, err2 := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 32)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -77,13 +77,13 @@ func TestBeamMonotoneInWidth(t *testing.T) {
 func TestBeamSearchDefaultsAndErrors(t *testing.T) {
 	p := pipeline.Uniform(3, 1, 1)
 	pl, _ := platform.NewFullyHomogeneous(3, 1, 1, 0.1)
-	if _, err := BeamSearchMinLatency(context.Background(), p, pl, 0); err != nil {
+	if _, err := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 0); err != nil {
 		t.Errorf("default beam width failed: %v", err)
 	}
 	// n > m still works (intervals are mandatory).
 	p2 := pipeline.Uniform(5, 1, 1)
 	pl2, _ := platform.NewFullyHomogeneous(2, 1, 1, 0.1)
-	res, err := BeamSearchMinLatency(context.Background(), p2, pl2, 4)
+	res, err := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p2, Plat: pl2}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestBeamScalesToLargeInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	p := pipeline.Random(rng, 32, 1, 10, 1, 10)
 	pl := platform.RandomFullyHeterogeneous(rng, 48, 1, 10, 0, 1, 1, 20)
-	res, err := BeamSearchMinLatency(context.Background(), p, pl, 16)
+	res, err := BeamSearchMinLatency(context.Background(), &Problem{Pipe: p, Plat: pl}, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

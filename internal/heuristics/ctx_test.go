@@ -85,7 +85,7 @@ func TestBeamSearchCancelled(t *testing.T) {
 	pr := ctxTestProblem(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := BeamSearchMinLatency(ctx, pr.Pipe, pr.Plat, 8)
+	_, err := BeamSearchMinLatency(ctx, pr, 8)
 	if err == nil {
 		t.Fatal("cancelled beam search must report the cancellation")
 	}

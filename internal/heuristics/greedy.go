@@ -6,6 +6,28 @@ import (
 	"repro/internal/mapping"
 )
 
+// topKSplit, topKMerge and topKMigrate bound, per move class, the number
+// of structural candidates that receive the expensive saturated lookahead
+// per improvement round. Every structural candidate is still scored raw
+// through the incremental state (cheap); only the most promising of each
+// class by that raw score — feasible candidates ranked by objective,
+// infeasible ones after them by constraint violation, ties broken by
+// enumeration order — are saturated. The legacy sweep saturated every
+// candidate, which is what made a full-het m=80 Solve spend ~28s in
+// greedy rounds; on small instances (fewer candidates than the class
+// quota) the bounded sweep is exhaustive and the policies coincide.
+//
+// The quota is per class rather than global because the raw score is
+// exactly the signal saturation exists to correct: the motivating
+// Figure 5 split looks worse than the status quo until the lookahead
+// re-replicates the fast half, and a shared list would let raw-neutral
+// merges and migrations starve such splits out of the lookahead entirely.
+const (
+	topKSplit   = 10
+	topKMerge   = 4
+	topKMigrate = 6
+)
+
 // Greedy runs constructive local improvement. It seeds the search with the
 // best result of SingleIntervalSweep (plus the full-replication mapping of
 // Theorem 1 as an alternative start) and repeatedly applies the best
@@ -13,42 +35,58 @@ import (
 //
 //   - add an unused processor to an interval's replica set;
 //   - remove a replica (keeping at least one per interval);
+//   - replace a replica by an unused processor;
 //   - split an interval at any point, staffing the new half with an unused
 //     processor (on either side) or with half of the old replica set;
 //   - merge two adjacent intervals (replica sets united);
 //   - move a replica from one interval to another.
 //
-// Structural moves (split/merge/move) are scored after *saturation*: a
-// nested greedy that re-optimizes replica counts before the comparison.
-// Without the lookahead, profitable splits can look worse than the status
-// quo — e.g. the paper's Figure 5 instance, where isolating the slow
-// reliable processor only pays off once the fast stage is re-replicated
-// tenfold.
-// Cancellation is polled between improvement rounds: a canceled search
-// returns the best feasible mapping reached so far alongside an error
-// wrapping the context's cause.
+// Point moves (add/remove/replace) are scored raw; structural moves
+// (split/merge/migrate) are scored after *saturation*: a nested greedy
+// that re-optimizes replica counts before the comparison. Without the
+// lookahead, profitable splits can look worse than the status quo — e.g.
+// the paper's Figure 5 instance, where isolating the slow reliable
+// processor only pays off once the fast stage is re-replicated tenfold.
+// The saturated lookahead is bounded to the per-class raw-best structural
+// candidates per round (topKSplit/topKMerge/topKMigrate).
+//
+// All candidates are scored through the problem's shared incremental
+// mapping.EvalState (apply/undo deltas, no Mapping.Clone, zero
+// allocations in the sweeps). Cancellation is polled per candidate: a
+// canceled search returns the best feasible mapping reached so far
+// alongside an error wrapping the context's cause.
 func Greedy(ctx context.Context, pr *Problem) (Result, error) {
 	best, err := seed(pr)
 	if err != nil {
 		return Result{}, err
 	}
+	s, err := newSearcher(pr)
+	if err != nil {
+		return Result{}, err
+	}
 	done := ctxDone(ctx)
-	best = saturate(pr, best, done)
+	s.st.Load(best.Mapping)
+	cur := s.saturate(done)
 	for {
 		if fired(done) {
-			return best, canceledErr(ctx)
+			return s.result(cur), canceledErr(ctx)
 		}
-		improved, next := bestMove(pr, best, done)
+		improved, next := s.bestMove(cur, done)
 		if !improved {
 			if fired(done) {
 				// The round was cut short: report the truncation so the
 				// caller can grade the answer as partial.
-				return best, canceledErr(ctx)
+				return s.result(cur), canceledErr(ctx)
 			}
-			return best, nil
+			return s.result(cur), nil
 		}
-		best = next
+		cur = next
 	}
+}
+
+// result materializes the searcher's current state.
+func (s *searcher) result(met mapping.Metrics) Result {
+	return Result{Mapping: s.st.ToMapping(), Metrics: met}
 }
 
 // fired reports whether the done channel (possibly nil) is closed.
@@ -89,232 +127,225 @@ func seed(pr *Problem) (Result, error) {
 }
 
 // saturate repeatedly applies the best replica-count adjustment — additions
-// when minimizing FP, removals and merges when minimizing latency — until
-// none improves (or done fires, which stops at the current state). It
-// never changes which stages form which interval except through merges in
-// the latency goal.
-func saturate(pr *Problem, cur Result, done <-chan struct{}) Result {
+// when minimizing FP, removals when minimizing latency — until none
+// improves (or done fires, which stops at the current state). It mutates
+// the searcher's state in place and returns its final metrics. It never
+// changes which stages form which interval.
+func (s *searcher) saturate(done <-chan struct{}) mapping.Metrics {
+	curMet, _ := s.score()
 	for {
 		if fired(done) {
-			return cur
+			return curMet
 		}
 		improved := false
-		best := cur
-		try := func(m *mapping.Mapping) {
-			met, ok := pr.evaluate(m)
-			if !ok || !pr.feasible(met) {
-				return
+		bestMet := curMet
+		var bestMv move
+		try := func(mv move) {
+			mv.apply(s)
+			if met, feas := s.score(); feas && s.pr.better(met, bestMet) {
+				bestMet, bestMv, improved = met, mv, true
 			}
-			if pr.better(met, best.Metrics) {
-				best = Result{Mapping: m, Metrics: met}
-				improved = true
-			}
+			mv.undo(s)
 		}
-		cm := cur.Mapping
-		if pr.Goal == MinFP {
-			for j := range cm.Alloc {
-				for _, u := range unusedProcs(cm, pr.Plat.NumProcs()) {
-					next := cm.Clone()
-					next.Alloc[j] = append(next.Alloc[j], u)
-					try(next)
+		p := s.st.NumIntervals()
+		if s.pr.Goal == MinFP {
+			free := s.freeProcs()
+			for j := 0; j < p; j++ {
+				for _, u := range free {
+					try(move{kind: mvAdd, j: j, u: u})
 				}
 			}
 		} else {
-			for j := range cm.Alloc {
-				if len(cm.Alloc[j]) < 2 {
+			for j := 0; j < p; j++ {
+				if s.st.Replication(j) < 2 {
 					continue
 				}
-				for i := range cm.Alloc[j] {
-					next := cm.Clone()
-					next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
-					try(next)
+				s.replicaIDs(j)
+				for _, u := range s.ids {
+					try(move{kind: mvRemove, j: j, u: u})
 				}
 			}
 		}
 		if !improved {
-			return cur
+			return curMet
 		}
-		cur = best
+		bestMv.apply(s)
+		curMet = bestMet
 	}
 }
 
-// bestMove evaluates every candidate move from cur — structural moves
-// scored after saturation — and returns the best strictly improving
-// feasible successor. When done fires mid-round the remaining candidates
-// are skipped, so cancellation latency is one candidate evaluation.
-func bestMove(pr *Problem, cur Result, done <-chan struct{}) (bool, Result) {
-	best := cur
-	improved := false
-	tryRaw := func(m *mapping.Mapping) {
-		if m == nil || fired(done) {
-			return
-		}
-		met, ok := pr.evaluate(m)
-		if !ok || !pr.feasible(met) {
-			return
-		}
-		if pr.better(met, best.Metrics) {
-			best = Result{Mapping: m, Metrics: met}
-			improved = true
-		}
-	}
-	trySaturated := func(m *mapping.Mapping) {
-		if m == nil || fired(done) {
-			return
-		}
-		met, ok := pr.evaluate(m)
-		if !ok {
-			return
-		}
-		res := Result{Mapping: m, Metrics: met}
-		if pr.feasible(met) {
-			res = saturate(pr, res, done)
-		} else {
-			// Saturation can restore feasibility (e.g. dropping replicas
-			// after a split under a latency bound); try from the raw
-			// state anyway.
-			res = saturate(pr, res, done)
-			if !pr.feasible(res.Metrics) {
-				return
-			}
-		}
-		if pr.better(res.Metrics, best.Metrics) {
-			best = res
-			improved = true
-		}
-	}
-	cm := cur.Mapping
-	unused := unusedProcs(cm, pr.Plat.NumProcs())
+// rankKey orders structural candidates for the saturated lookahead:
+// feasible before infeasible, then by the value (the objective for
+// feasible candidates, the constraint violation for infeasible ones),
+// then by enumeration order.
+type rankKey struct {
+	infeasible bool
+	val        float64
+	idx        int
+}
 
-	// Plain replica adjustments.
-	for j := range cm.Alloc {
-		for _, u := range unused {
-			next := cm.Clone()
-			next.Alloc[j] = append(next.Alloc[j], u)
-			tryRaw(next)
+func (a rankKey) less(b rankKey) bool {
+	if a.infeasible != b.infeasible {
+		return b.infeasible
+	}
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.idx < b.idx
+}
+
+// rankEntry is one structural candidate retained for saturation.
+type rankEntry struct {
+	key rankKey
+	mv  move
+}
+
+// bestMove evaluates the candidate moves from the current state — point
+// moves raw, the structuralTopK raw-best structural moves after
+// saturation — and commits the best strictly improving feasible
+// successor, returning its metrics. When done fires mid-round the
+// remaining candidates are skipped, so cancellation latency is one
+// candidate evaluation.
+func (s *searcher) bestMove(curMet mapping.Metrics, done <-chan struct{}) (bool, mapping.Metrics) {
+	bestMet := curMet
+	improved := false
+	tryRaw := func(mv move) {
+		if fired(done) {
+			return
 		}
-		if len(cm.Alloc[j]) >= 2 {
-			for i := range cm.Alloc[j] {
-				next := cm.Clone()
-				next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
-				tryRaw(next)
-			}
+		mv.apply(s)
+		if met, feas := s.score(); feas && s.pr.better(met, bestMet) {
+			bestMet, improved = met, true
+			s.bestSt.CopyFrom(s.st)
+		}
+		mv.undo(s)
+	}
+
+	p := s.st.NumIntervals()
+	free := s.freeProcs()
+
+	// Phase 1 — point moves, scored raw.
+	for j := 0; j < p; j++ {
+		for _, u := range free {
+			tryRaw(move{kind: mvAdd, j: j, u: u})
 		}
 	}
-	// Splits (saturated lookahead).
-	for j, iv := range cm.Intervals {
-		for cut := iv.First + 1; cut <= iv.Last; cut++ {
-			for _, u := range unused {
-				trySaturated(splitNewRight(cm, j, cut, u))
-				trySaturated(splitNewLeft(cm, j, cut, u))
-			}
-			if k := len(cm.Alloc[j]); k >= 2 {
-				right := append([]int(nil), cm.Alloc[j][k/2:]...)
-				trySaturated(splitSelf(cm, j, cut, right))
-			}
-		}
-	}
-	// Merges (saturated lookahead).
-	for j := 0; j+1 < len(cm.Intervals); j++ {
-		next := cm.Clone()
-		next.Intervals[j].Last = next.Intervals[j+1].Last
-		next.Alloc[j] = append(next.Alloc[j], next.Alloc[j+1]...)
-		next.Intervals = append(next.Intervals[:j+1], next.Intervals[j+2:]...)
-		next.Alloc = append(next.Alloc[:j+1], next.Alloc[j+2:]...)
-		trySaturated(next)
-	}
-	// Replica migrations (saturated lookahead).
-	for j := range cm.Alloc {
-		if len(cm.Alloc[j]) < 2 {
+	for j := 0; j < p; j++ {
+		if s.st.Replication(j) < 2 {
 			continue
 		}
-		for i := range cm.Alloc[j] {
-			u := cm.Alloc[j][i]
-			for j2 := range cm.Alloc {
-				if j2 == j {
-					continue
+		s.replicaIDs(j)
+		for _, u := range s.ids {
+			tryRaw(move{kind: mvRemove, j: j, u: u})
+		}
+	}
+	for j := 0; j < p; j++ {
+		s.replicaIDs(j)
+		for _, u := range s.ids {
+			for _, u2 := range free {
+				tryRaw(move{kind: mvReplace, j: j, u: u, u2: u2})
+			}
+		}
+	}
+
+	// Phase 2 — rank every structural move by its raw delta score into the
+	// per-class bounded candidate lists.
+	topSplit := s.topSplit[:0]
+	topMerge := s.topMerge[:0]
+	topMigrate := s.topMigrate[:0]
+	idx := 0
+	offer := func(mv move, top *[]rankEntry, quota int) {
+		if fired(done) {
+			return
+		}
+		if mv.kind == mvSplitSelf {
+			s.setSplitSelfRight(mv.j)
+		}
+		mv.apply(s)
+		met, feas := s.score()
+		mv.undo(s)
+		key := rankKey{idx: idx}
+		idx++
+		if feas {
+			key.val = s.pr.objective(met)
+		} else {
+			key.infeasible = true
+			if s.pr.Goal == MinFP {
+				key.val = met.Latency - s.pr.Bound
+			} else {
+				key.val = met.FailureProb - s.pr.Bound
+			}
+		}
+		// Insertion into the bounded, sorted candidate list.
+		if len(*top) == quota && !key.less((*top)[len(*top)-1].key) {
+			return
+		}
+		if len(*top) < quota {
+			*top = append(*top, rankEntry{})
+		}
+		i := len(*top) - 1
+		for i > 0 && key.less((*top)[i-1].key) {
+			(*top)[i] = (*top)[i-1]
+			i--
+		}
+		(*top)[i] = rankEntry{key: key, mv: mv}
+	}
+	for j := 0; j < p; j++ {
+		first, end := s.st.First(j), s.st.End(j)
+		canSelf := s.st.Replication(j) >= 2
+		for cut := first + 1; cut <= end; cut++ {
+			for _, u := range free {
+				offer(move{kind: mvSplitNewRight, j: j, cut: cut, u: u}, &topSplit, topKSplit)
+				offer(move{kind: mvSplitNewLeft, j: j, cut: cut, u: u}, &topSplit, topKSplit)
+			}
+			if canSelf {
+				offer(move{kind: mvSplitSelf, j: j, cut: cut}, &topSplit, topKSplit)
+			}
+		}
+	}
+	for j := 0; j+1 < p; j++ {
+		offer(move{kind: mvMerge, j: j}, &topMerge, topKMerge)
+	}
+	for j := 0; j < p; j++ {
+		if s.st.Replication(j) < 2 {
+			continue
+		}
+		s.replicaIDs(j)
+		for _, u := range s.ids {
+			for j2 := 0; j2 < p; j2++ {
+				if j2 != j {
+					offer(move{kind: mvMigrate, j: j, j2: j2, u: u}, &topMigrate, topKMigrate)
 				}
-				next := cm.Clone()
-				next.Alloc[j] = append(next.Alloc[j][:i:i], next.Alloc[j][i+1:]...)
-				next.Alloc[j2] = append(next.Alloc[j2], u)
-				trySaturated(next)
 			}
 		}
 	}
-	// Replica replacements: swap a used processor for an unused one.
-	for j := range cm.Alloc {
-		for i := range cm.Alloc[j] {
-			for _, u := range unused {
-				next := cm.Clone()
-				next.Alloc[j][i] = u
-				tryRaw(next)
-			}
-		}
-	}
-	return improved, best
-}
+	s.topSplit, s.topMerge, s.topMigrate = topSplit, topMerge, topMigrate
 
-// splitNewRight splits interval j at stage cut; the right half is staffed
-// by the single (unused) processor u, the left half keeps the old set.
-func splitNewRight(m *mapping.Mapping, j, cut, u int) *mapping.Mapping {
-	return splitCommon(m, j, cut, append([]int(nil), m.Alloc[j]...), []int{u})
-}
-
-// splitNewLeft splits interval j at stage cut; the left half is staffed by
-// the single (unused) processor u, the right half inherits the old set.
-// This is the move that isolates a reliable processor on a cheap prefix
-// stage (the winning structure of the paper's Figure 5 example).
-func splitNewLeft(m *mapping.Mapping, j, cut, u int) *mapping.Mapping {
-	return splitCommon(m, j, cut, []int{u}, append([]int(nil), m.Alloc[j]...))
-}
-
-// splitSelf splits interval j at stage cut, moving rightProcs (a subset of
-// the old replica set) to the right half. Returns nil when the left half
-// would be left without processors.
-func splitSelf(m *mapping.Mapping, j, cut int, rightProcs []int) *mapping.Mapping {
-	var left []int
-	for _, u := range m.Alloc[j] {
-		keep := true
-		for _, r := range rightProcs {
-			if u == r {
-				keep = false
+	// Phase 3 — saturated lookahead on the retained candidates. Saturation
+	// can restore feasibility (e.g. dropping replicas after a split under a
+	// latency bound), so infeasible raw candidates are saturated too.
+	for _, top := range [][]rankEntry{topSplit, topMerge, topMigrate} {
+		for i := range top {
+			if fired(done) {
 				break
 			}
-		}
-		if keep {
-			left = append(left, u)
+			mv := top[i].mv
+			s.snap.CopyFrom(s.st)
+			if mv.kind == mvSplitSelf {
+				s.setSplitSelfRight(mv.j)
+			}
+			mv.apply(s)
+			met := s.saturate(done)
+			if s.pr.feasible(met) && s.pr.better(met, bestMet) {
+				bestMet, improved = met, true
+				s.bestSt.CopyFrom(s.st)
+			}
+			s.st.CopyFrom(s.snap)
 		}
 	}
-	if len(left) == 0 {
-		return nil
-	}
-	return splitCommon(m, j, cut, left, append([]int(nil), rightProcs...))
-}
 
-// splitCommon builds the mapping with interval j split at cut and the two
-// halves staffed by leftProcs and rightProcs (both owned by the callee).
-func splitCommon(m *mapping.Mapping, j, cut int, leftProcs, rightProcs []int) *mapping.Mapping {
-	next := m.Clone()
-	iv := next.Intervals[j]
-	left := mapping.Interval{First: iv.First, Last: cut - 1}
-	right := mapping.Interval{First: cut, Last: iv.Last}
-	next.Intervals = append(next.Intervals[:j], append([]mapping.Interval{left, right}, next.Intervals[j+1:]...)...)
-	next.Alloc = append(next.Alloc[:j], append([][]int{leftProcs, rightProcs}, next.Alloc[j+1:]...)...)
-	return next
-}
-
-func unusedProcs(m *mapping.Mapping, numProcs int) []int {
-	used := make([]bool, numProcs)
-	for _, procs := range m.Alloc {
-		for _, u := range procs {
-			used[u] = true
-		}
+	if improved {
+		s.st.CopyFrom(s.bestSt)
 	}
-	var free []int
-	for u, b := range used {
-		if !b {
-			free = append(free, u)
-		}
-	}
-	return free
+	return improved, bestMet
 }

@@ -1,30 +1,3 @@
-// Package heuristics attacks the two bi-criteria cases for which the
-// paper gives no polynomial algorithm: Communication Homogeneous with
-// heterogeneous failure probabilities (left open, conjectured NP-hard in
-// Section 4.4) and Fully Heterogeneous (NP-hard by Theorem 7).
-//
-// Three solver families are provided, in increasing cost and quality:
-//
-//   - SingleIntervalSweep: the best single-interval mapping over prefix
-//     subsets of several processor orderings (the optimal shape on the
-//     classes of Lemma 1, and a strong baseline elsewhere);
-//   - Greedy: constructive local improvement — start from a feasible
-//     mapping and repeatedly apply the best replica addition/removal,
-//     split, or merge;
-//   - Anneal: simulated annealing over the full interval-mapping search
-//     space with repair-based neighborhood moves, with hill-climbing as
-//     the zero-temperature special case.
-//
-// All solvers return the best feasible mapping found; ErrNotFound means
-// the search saw no feasible mapping, which (heuristics being incomplete)
-// does not prove infeasibility.
-//
-// Invariants: every solver is deterministic for a fixed seed and
-// configuration; every long-running solver takes a context.Context and
-// returns its best-so-far result alongside a cause-wrapping error when
-// canceled. Platform width is unlimited — beam search tracks enrolled
-// processors in a multi-word bitset (internal/bitset), and the other
-// searches operate on id slices.
 package heuristics
 
 import (
@@ -89,6 +62,25 @@ type Problem struct {
 	Plat  *platform.Platform
 	Goal  Goal
 	Bound float64 // MaxLatency when Goal == MinFP; MaxFailProb otherwise
+	// Eval optionally carries a prebuilt evaluator for (Pipe, Plat) — the
+	// Session-cached one when the problem is routed through internal/core —
+	// so every solver in the package scores candidates through the shared
+	// precomputed state. When nil it is built lazily on first use.
+	Eval *mapping.Evaluator
+}
+
+// evaluator returns the problem's evaluator, building and caching it on
+// first use. The heuristic solvers run one goroutine per Problem value,
+// and copies made after the first call share the cached pointer.
+func (pr *Problem) evaluator() (*mapping.Evaluator, error) {
+	if pr.Eval == nil {
+		ev, err := mapping.NewEvaluator(pr.Pipe, pr.Plat)
+		if err != nil {
+			return nil, err
+		}
+		pr.Eval = ev
+	}
+	return pr.Eval, nil
 }
 
 // feasible reports whether metrics satisfy the problem's constraint.
@@ -120,9 +112,15 @@ func (pr *Problem) better(a, b mapping.Metrics) bool {
 	return a.FailureProb < b.FailureProb
 }
 
-// evaluate wraps mapping.Evaluate, returning ok=false on invalid mappings.
+// evaluate scores a mapping through the problem's cached evaluator (the
+// legacy per-call path rebuilt the platform dispatch on every candidate),
+// returning ok=false on invalid mappings or instances.
 func (pr *Problem) evaluate(m *mapping.Mapping) (mapping.Metrics, bool) {
-	met, err := mapping.Evaluate(pr.Pipe, pr.Plat, m)
+	ev, err := pr.evaluator()
+	if err != nil {
+		return mapping.Metrics{}, false
+	}
+	met, err := ev.EvaluateMapping(m)
 	if err != nil {
 		return mapping.Metrics{}, false
 	}

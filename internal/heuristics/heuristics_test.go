@@ -275,7 +275,10 @@ func TestAnnealRespectsFPConstraint(t *testing.T) {
 func TestParetoSearchFrontSane(t *testing.T) {
 	p, pl := fig5()
 	pr := &Problem{Pipe: p, Plat: pl}
-	front := ParetoSearch(context.Background(), pr, AnnealConfig{Seed: 2, Iters: 2000, Restarts: 3})
+	front, err := ParetoSearch(context.Background(), pr, AnnealConfig{Seed: 2, Iters: 2000, Restarts: 3})
+	if err != nil {
+		t.Fatalf("uncanceled ParetoSearch reported %v", err)
+	}
 	if front.Len() < 3 {
 		t.Fatalf("front has %d points, want several", front.Len())
 	}
@@ -316,9 +319,11 @@ func TestRandomStateValid(t *testing.T) {
 	}
 }
 
-// TestNeighborPreservesValidity: every non-nil neighbor of a valid mapping
-// is valid.
-func TestNeighborPreservesValidity(t *testing.T) {
+// TestRandomMovePreservesValidity: every applicable random move applied to
+// a valid search state yields a valid mapping, and undoing it restores the
+// previous mapping exactly (the apply/undo round-trip invariant of
+// doc.go).
+func TestRandomMovePreservesValidity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(5)
@@ -326,16 +331,28 @@ func TestNeighborPreservesValidity(t *testing.T) {
 		p := pipeline.Uniform(n, 1, 1)
 		pl, _ := platform.NewFullyHomogeneous(m, 1, 1, 0.5)
 		pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: math.Inf(1)}
-		cur := randomState(rng, pr)
+		s, err := newSearcher(pr)
+		if err != nil {
+			return false
+		}
+		s.st.Load(randomState(rng, pr))
 		for i := 0; i < 30; i++ {
-			next := neighbor(rng, pr, cur)
-			if next == nil {
+			mv, ok := s.randomMove(rng)
+			if !ok {
 				continue
 			}
-			if next.Validate(n, m) != nil {
+			before := s.st.ToMapping().String()
+			mv.apply(s)
+			if s.st.ToMapping().Validate(n, m) != nil {
 				return false
 			}
-			cur = next
+			undo := rng.Intn(2) == 0
+			if undo {
+				mv.undo(s)
+				if s.st.ToMapping().String() != before {
+					return false
+				}
+			}
 		}
 		return true
 	}

@@ -1,0 +1,221 @@
+package heuristics
+
+// The legacy heuristics evaluation path — Mapping.Clone per candidate,
+// full Validate, slice-based mapping.Evaluate — survives here as the
+// unexported reference the delta refactor is proven against, following
+// the pattern of exact/reference_test.go (where the retired slice
+// enumerator validates the bitmask engine). The testScoreCheck hook in
+// state.go lets these tests intercept *every* metric the searchers read
+// from the incremental state during a real Greedy/Anneal run and assert
+// it is bitwise identical to the clone-path evaluation of the same
+// candidate, which by induction makes the refactored searches follow the
+// exact trajectory the clone-path implementation would.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// referenceEvaluate is the pre-refactor per-candidate path: deep-copy the
+// mapping, then validate and score it through the slice-based evaluators
+// (mapping.Evaluate dispatches Eq. (1)/Eq. (2) per call, exactly like the
+// old Problem.evaluate).
+func referenceEvaluate(pr *Problem, m *mapping.Mapping) (mapping.Metrics, error) {
+	return mapping.Evaluate(pr.Pipe, pr.Plat, m.Clone())
+}
+
+// installCloneCheck routes every searcher score through the legacy path
+// and fails the test on the first bitwise mismatch. It returns the
+// uninstall func and a counter so tests can assert the hook actually saw
+// scores.
+func installCloneCheck(t *testing.T, scores *int) func() {
+	t.Helper()
+	testScoreCheck = func(pr *Problem, st *mapping.EvalState, met mapping.Metrics) {
+		mp := st.ToMapping()
+		want, err := referenceEvaluate(pr, mp)
+		if err != nil {
+			t.Fatalf("delta path scored an invalid state %v: %v", mp, err)
+		}
+		if met != want {
+			t.Fatalf("delta score %+v != clone-path score %+v for %v", met, want, mp)
+		}
+		*scores++
+	}
+	return func() { testScoreCheck = nil }
+}
+
+// equivInstance draws a random instance at the given width —
+// communication-homogeneous on even seeds, fully heterogeneous otherwise
+// — plus a latency bound that is binding often enough to exercise
+// split/merge/saturation moves.
+func equivInstance(seed int64, m int) (*Problem, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(4)
+	p := pipeline.Random(rng, n, 1, 8, 1, 8)
+	var pl *platform.Platform
+	if seed%2 == 0 {
+		pl = platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 1+rng.Float64()*2)
+	} else {
+		pl = platform.RandomFullyHeterogeneous(rng, m, 1, 10, 0.05, 0.95, 1, 20)
+	}
+	// A bound between the fastest single-processor latency and a small
+	// multiple of it keeps the instance feasible but the constraint tight.
+	ref := mapping.NewSingleInterval(n, []int{pl.FastestProc()})
+	met, err := mapping.Evaluate(p, pl, ref)
+	if err != nil {
+		panic(err)
+	}
+	bound := met.Latency * (1.2 + 2*rng.Float64())
+	return &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: bound}, rng
+}
+
+// TestGreedyDeltaMatchesClonePath runs the refactored greedy under the
+// clone-check hook across the narrow and wide mask representations: every
+// single candidate score of the search must be bitwise identical to the
+// legacy Clone+Evaluate path, and the returned metrics must reproduce
+// through it as well.
+func TestGreedyDeltaMatchesClonePath(t *testing.T) {
+	for _, m := range []int{8, 64, 80, 128} {
+		for seed := int64(0); seed < 4; seed++ {
+			pr, _ := equivInstance(seed*4+int64(m), m)
+			scores := 0
+			uninstall := installCloneCheck(t, &scores)
+			res, err := Greedy(context.Background(), pr)
+			uninstall()
+			if err != nil {
+				continue // infeasible draw: nothing scored beyond the sweep
+			}
+			if scores == 0 {
+				t.Fatalf("m=%d seed=%d: clone-check hook saw no scores", m, seed)
+			}
+			want, refErr := referenceEvaluate(pr, res.Mapping)
+			if refErr != nil {
+				t.Fatalf("m=%d seed=%d: greedy returned invalid mapping: %v", m, seed, refErr)
+			}
+			if res.Metrics != want {
+				t.Errorf("m=%d seed=%d: greedy metrics %+v != clone path %+v", m, seed, res.Metrics, want)
+			}
+		}
+	}
+}
+
+// TestAnnealDeltaMatchesClonePath is the annealing analogue: the whole
+// walk (accepted and rejected moves alike) scores bitwise identically to
+// the clone path, so the trajectory is the one a clone-based walk with the
+// same seed would take.
+func TestAnnealDeltaMatchesClonePath(t *testing.T) {
+	for _, m := range []int{8, 64, 80, 128} {
+		for seed := int64(0); seed < 3; seed++ {
+			pr, _ := equivInstance(seed*4+int64(m)+1, m)
+			scores := 0
+			uninstall := installCloneCheck(t, &scores)
+			res, err := Anneal(context.Background(), pr, AnnealConfig{Seed: seed + 1, Iters: 120, Restarts: 2})
+			uninstall()
+			if err != nil {
+				continue
+			}
+			if scores == 0 {
+				t.Fatalf("m=%d seed=%d: clone-check hook saw no scores", m, seed)
+			}
+			want, refErr := referenceEvaluate(pr, res.Mapping)
+			if refErr != nil {
+				t.Fatalf("m=%d seed=%d: anneal returned invalid mapping: %v", m, seed, refErr)
+			}
+			if res.Metrics != want {
+				t.Errorf("m=%d seed=%d: anneal metrics %+v != clone path %+v", m, seed, res.Metrics, want)
+			}
+		}
+	}
+}
+
+// TestGreedyPaperOptimaPreserved pins the known optima of the paper's
+// instances through the refactored policy (the bounded structural sweep
+// is exhaustive at these sizes, so the delta rewrite must not change the
+// answers the legacy greedy found).
+func TestGreedyPaperOptimaPreserved(t *testing.T) {
+	p, pl := fig5()
+	pr := &Problem{Pipe: p, Plat: pl, Goal: MinFP, Bound: 22}
+	res, err := Greedy(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.1)*(1-math.Pow(0.8, 10))
+	if math.Abs(res.Metrics.FailureProb-want) > 1e-12 {
+		t.Errorf("Fig5 greedy FP = %g, want %g", res.Metrics.FailureProb, want)
+	}
+	p2, pl2 := fig34()
+	pr2 := &Problem{Pipe: p2, Plat: pl2, Goal: MinLatency, Bound: 1}
+	res2, err := Greedy(context.Background(), pr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Metrics.Latency-7) > 1e-9 {
+		t.Errorf("Fig34 greedy latency = %g, want 7", res2.Metrics.Latency)
+	}
+}
+
+// TestMoveSweepZeroAllocs pins the zero-allocation contract of the greedy
+// move sweep (point moves, structural ranking and the saturated lookahead
+// all run on the in-place search state; only result materialization may
+// allocate).
+func TestMoveSweepZeroAllocs(t *testing.T) {
+	for _, m := range []int{12, 80} {
+		pr, _ := equivInstance(int64(m)+1, m) // odd offset: fully heterogeneous
+		s, err := newSearcher(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := seed(pr)
+		if err != nil {
+			t.Skipf("m=%d: no feasible seed", m)
+		}
+		s.st.Load(best.Mapping)
+		cur := s.saturate(nil)
+		// Drive to a local optimum first so the measured sweeps are the
+		// steady-state full rounds (improved=false paths).
+		for {
+			improved, next := s.bestMove(cur, nil)
+			if !improved {
+				break
+			}
+			cur = next
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			s.bestMove(cur, nil)
+			s.saturate(nil)
+		})
+		if allocs != 0 {
+			t.Errorf("m=%d: move sweep allocates %.1f/op, want 0", m, allocs)
+		}
+	}
+}
+
+// TestAnnealIterationsZeroAlloc verifies the annealing walk allocates only
+// when a mapping is actually recorded: a walk whose archive and best are
+// already settled performs allocation-free iterations.
+func TestAnnealIterationsZeroAlloc(t *testing.T) {
+	pr, rng := equivInstance(81, 80)
+	s, err := newSearcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.st.Load(randomState(rng, pr))
+	allocs := testing.AllocsPerRun(200, func() {
+		mv, ok := s.randomMove(rng)
+		if !ok {
+			return
+		}
+		mv.apply(s)
+		_, _ = s.score()
+		mv.undo(s)
+	})
+	if allocs != 0 {
+		t.Errorf("anneal move iteration allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// which slows wall-clock-bounded tests by an order of magnitude.
+const raceEnabled = true

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — run the root benchmark suite and record the results as JSON,
-# starting the repository's performance trajectory. Each run writes
+# extending the repository's performance trajectory. Each run writes
 # BENCH_<date>.json (go test -bench -json stream) next to this script's
 # repo root; pass a benchmark regex to restrict the run, e.g.
 #
 #   scripts/bench.sh 'BenchmarkE2Fig5|BenchmarkE14'
+#
+# Compare two snapshots with a benchstat-style delta table (matched by
+# benchmark name; the worker-count suffix is stripped):
+#
+#   scripts/bench.sh -compare BENCH_old.json BENCH_new.json
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1s)
@@ -12,6 +17,55 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# extract_lines reassembles the Output fragments of a -json stream (the
+# stream splits benchmark lines across events) and prints the measurement
+# lines.
+extract_lines() {
+    grep -o '"Output":"[^"]*"' "$1" \
+        | sed -e 's/^"Output":"//' -e 's/"$//' \
+        | while IFS= read -r frag; do printf '%b' "${frag}"; done \
+        | grep -E '^Benchmark.*(ns/op|allocs/op)' || true
+}
+
+if [[ "${1:-}" == "-compare" ]]; then
+    if [[ $# -ne 3 ]]; then
+        echo "usage: $0 -compare old.json new.json" >&2
+        exit 2
+    fi
+    old_file="$2" new_file="$3"
+    { extract_lines "${old_file}"; echo "===SPLIT==="; extract_lines "${new_file}"; } \
+        | awk '
+            /^===SPLIT===$/ { second = 1; next }
+            {
+                name = $1; sub(/-[0-9]+$/, "", name)
+                ns = ""; bytes = ""; allocs = ""
+                for (i = 2; i <= NF; i++) {
+                    if ($i == "ns/op")     ns = $(i-1)
+                    if ($i == "B/op")      bytes = $(i-1)
+                    if ($i == "allocs/op") allocs = $(i-1)
+                }
+                if (ns == "") next
+                if (!second) {
+                    oldNs[name] = ns; oldAllocs[name] = allocs
+                    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+                } else {
+                    newNs[name] = ns; newAllocs[name] = allocs
+                }
+            }
+            END {
+                printf "%-44s %14s %14s %9s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new"
+                for (i = 1; i <= n; i++) {
+                    name = order[i]
+                    if (!(name in newNs)) { printf "%-44s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone"; continue }
+                    d = (newNs[name] - oldNs[name]) / oldNs[name] * 100
+                    printf "%-44s %14.0f %14.0f %+8.1f%% %18s\n", name, oldNs[name], newNs[name], d, oldAllocs[name] "→" newAllocs[name]
+                }
+                for (name in newNs) if (!(name in oldNs))
+                    printf "%-44s %14s %14.0f %9s\n", name, "-", newNs[name], "new"
+            }'
+    exit 0
+fi
 
 PATTERN="${1:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
@@ -22,11 +76,7 @@ echo "benchmarking '${PATTERN}' (benchtime=${BENCHTIME}, count=${COUNT}) -> ${OU
 go test -run '^$' -bench "${PATTERN}" -benchmem \
     -benchtime "${BENCHTIME}" -count "${COUNT}" -json . > "${OUT}"
 
-# Human summary: reassemble the Output fragments (the JSON stream splits
-# benchmark lines across events) and print the measurement lines.
-grep -o '"Output":"[^"]*"' "${OUT}" \
-    | sed -e 's/^"Output":"//' -e 's/"$//' \
-    | while IFS= read -r frag; do printf '%b' "${frag}"; done \
-    | grep -E '^Benchmark.*(ns/op|allocs/op)' || true
+# Human summary.
+extract_lines "${OUT}"
 
 echo "wrote ${OUT}" >&2

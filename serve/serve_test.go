@@ -155,8 +155,12 @@ func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
 	// enumeration nor the greedy/annealing fallback can finish within the
 	// deadline (even allowing for coarse timer granularity): the solver
 	// must return a best-effort mapping marked partial instead of
-	// blocking.
-	n, m := 40, 40
+	// blocking. The latency bound below is binding (full replication
+	// busts it), so greedy grows the mapping over many improvement
+	// rounds — the delta-evaluation rounds are fast enough that an
+	// unconstrained 40×40 instance now completes before a 1ms timer can
+	// even fire.
+	n, m := 100, 150
 	w := make([]float64, n)
 	delta := make([]float64, n+1)
 	for i := range w {
@@ -172,7 +176,7 @@ func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
 	b := make([][]float64, m)
 	for u := 0; u < m; u++ {
 		speed[u] = float64(1 + u)
-		fp[u] = 0.05 + 0.01*float64(u)
+		fp[u] = 0.05 + 0.9*float64(u)/float64(m)
 		bIn[u] = 1 + 0.1*float64(u)
 		bOut[u] = 1 + 0.2*float64(u)
 		b[u] = make([]float64, m)
@@ -186,7 +190,7 @@ func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
 		"pipeline":       map[string]any{"w": w, "delta": delta},
 		"platform":       map[string]any{"speed": speed, "failProb": fp, "b": b, "bIn": bIn, "bOut": bOut},
 		"objective":      "minFailureProb",
-		"maxLatency":     1e6,
+		"maxLatency":     100,
 		"deadlineMillis": 1,
 	})
 	if err != nil {

@@ -220,7 +220,7 @@ func (s *Session) Bounds() (IntervalBounds, error) {
 func (s *Session) BeamSearchMinLatency(ctx context.Context, beamWidth int) (*Mapping, Metrics, error) {
 	ctx, cancel := s.callCtx(ctx)
 	defer cancel()
-	res, err := heuristics.BeamSearchMinLatency(ctx, s.pipe, s.plat, beamWidth)
+	res, err := heuristics.BeamSearchMinLatency(ctx, &heuristics.Problem{Pipe: s.pipe, Plat: s.plat, Eval: s.ev}, beamWidth)
 	if res.Mapping == nil {
 		return nil, Metrics{}, err
 	}

@@ -116,6 +116,46 @@ func TestSessionWideBeamSearch(t *testing.T) {
 	}
 }
 
+// TestSessionWideForceHeuristicFast pins the headline of the heuristics
+// delta refactor: a full-het m=80 heuristic-route Solve with a binding
+// latency bound completes in well under 2s (the pre-refactor clone-path
+// greedy spent ~28s in its improvement rounds on this shape). The bound
+// is relaxed under the race detector, whose instrumentation slows the
+// sweeps by an order of magnitude.
+func TestSessionWideForceHeuristicFast(t *testing.T) {
+	pipe := rampPipeline(t, 12)
+	plat := hetPlatform(t, 80)
+	s, err := repro.NewSession(pipe, plat, repro.WithForceHeuristic(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := s.Solve(context.Background(), repro.SolveRequest{
+		Objective:  repro.MinimizeFailureProb,
+		MaxLatency: 20,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 2 * time.Second
+	if raceEnabled {
+		limit = 20 * time.Second
+	}
+	if elapsed > limit {
+		t.Errorf("m=80 ForceHeuristic solve took %v, want < %v", elapsed, limit)
+	}
+	if res.Certainty != repro.Heuristic {
+		t.Errorf("certainty = %v, want Heuristic", res.Certainty)
+	}
+	if err := res.Mapping.Validate(pipe.NumStages(), plat.NumProcs()); err != nil {
+		t.Errorf("invalid mapping: %v", err)
+	}
+	if met, err := s.Evaluate(res.Mapping); err != nil || !closeTo(met.Latency, res.Metrics.Latency) {
+		t.Errorf("result does not reproduce its metrics (%+v vs %+v, %v)", met, res.Metrics, err)
+	}
+}
+
 func TestSessionWideDeadlinePartial(t *testing.T) {
 	pipe := rampPipeline(t, 12)
 	plat := hetPlatform(t, 80)
