@@ -18,6 +18,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/poly"
+	"repro/internal/remap"
 	"repro/internal/sim"
 	"repro/internal/throughput"
 	"repro/internal/workload"
@@ -68,6 +69,25 @@ type (
 	MCSummary = sim.MCSummary
 	// SimTrace is a resource-occupation trace (render with Gantt).
 	SimTrace = sim.Trace
+	// FaultKind is the type of a fault event (crash or recovery).
+	FaultKind = sim.FaultKind
+	// FaultEvent is one crash/recovery transition of a fault-injection
+	// campaign.
+	FaultEvent = sim.FaultEvent
+	// FaultSchedule is a time-ordered fault-event stream.
+	FaultSchedule = sim.FaultSchedule
+	// RandomFaultConfig tunes the stochastic fault-schedule generator.
+	RandomFaultConfig = sim.RandomFaultConfig
+	// RemapConfig tunes the failure-reactive re-mapping controller.
+	RemapConfig = remap.Config
+	// RemapResult reports one reaction of the re-mapping controller: the
+	// installed mapping, its metrics and provenance, and the repair time.
+	RemapResult = remap.Repair
+	// RemapViolation reports a bound the surviving platform cannot meet.
+	RemapViolation = remap.Violation
+	// RemapController is the failure-reactive re-mapping loop (see
+	// Session.NewRemapController).
+	RemapController = remap.Controller
 	// RRMapping combines reliability replication with round-robin data
 	// parallelism (the paper's future-work §5 extension).
 	RRMapping = throughput.RRMapping
@@ -109,6 +129,12 @@ const (
 	MonteCarlo = sim.MonteCarlo
 )
 
+// Fault-event kinds.
+const (
+	FaultCrash   = sim.FaultCrash
+	FaultRecover = sim.FaultRecover
+)
+
 // Sentinel errors.
 var (
 	// ErrInfeasible: no interval mapping satisfies the constraint
@@ -117,7 +143,20 @@ var (
 	// ErrNotFound: the heuristic search found no feasible mapping
 	// (infeasibility not proven).
 	ErrNotFound = core.ErrNotFound
+	// ErrAllFailed: every processor is down; no valid mapping exists until
+	// a recovery arrives.
+	ErrAllFailed = remap.ErrAllFailed
 )
+
+// ScriptedCrashes builds a deterministic schedule crashing the given
+// processors one after another (unit-spaced virtual times).
+func ScriptedCrashes(procs ...int) FaultSchedule { return sim.ScriptedCrashes(procs...) }
+
+// NewRandomFaultSchedule draws a reproducible stochastic crash/recovery
+// schedule for an m-processor platform from rng.
+func NewRandomFaultSchedule(rng *rand.Rand, m int, cfg RandomFaultConfig) FaultSchedule {
+	return sim.RandomFaultSchedule(rng, m, cfg)
+}
 
 // NewPipeline builds and validates an n-stage pipeline; len(delta) must be
 // len(w)+1 (delta[0] is the initial input, delta[n] the final output).

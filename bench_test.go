@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/bitset"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/heuristics"
@@ -575,6 +576,58 @@ func BenchmarkGreedyM80(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := heuristics.Greedy(context.Background(), pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepairM80 times the warm-restart repair after one crash in the
+// m = 80 deployment — the reactive controller's hot path: load the
+// deployed mapping into the incremental state, evict the dead replica,
+// and re-optimize with bounded point-move rounds. Compare with
+// BenchmarkGreedyM80, the cold solve on the same instance: the repair
+// must stay an order of magnitude cheaper, which is what makes
+// failure-reactive re-mapping viable at streaming rates.
+func BenchmarkRepairM80(b *testing.B) {
+	pr := heurBenchProblem(b, 12, 80)
+	g, err := heuristics.Greedy(context.Background(), pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	banned := bitset.Make(80)
+	banned.Add(g.Mapping.Alloc[0][0])
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.Repair(ctx, pr, g.Mapping, banned, heuristics.RepairBudget{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRemapM80 times the same single-crash repair through the
+// public Session.Remap surface (controller construction, eviction, greedy
+// repair, violation grading) — the per-event server-side cost of the
+// /v1/remap/stream endpoint.
+func BenchmarkSessionRemapM80(b *testing.B) {
+	pr := heurBenchProblem(b, 12, 80)
+	s, err := NewSession(pr.Pipe, pr.Plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := heuristics.Greedy(context.Background(), pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	failed := make([]bool, 80)
+	failed[g.Mapping.Alloc[0][0]] = true
+	cfg := RemapConfig{Objective: MinimizeFailureProb, MaxLatency: pr.Bound}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Remap(ctx, g.Mapping, failed, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

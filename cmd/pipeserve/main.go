@@ -6,10 +6,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        one problem  (same JSON schema as cmd/pipemap)
-//	POST /v1/solve/batch  {"problems": [...]} — one result per problem
-//	GET  /healthz         liveness probe
-//	GET  /v1/stats        request and session-cache counters
+//	POST /v1/solve         one problem  (same JSON schema as cmd/pipemap)
+//	POST /v1/solve/batch   {"problems": [...]} — one result per problem
+//	POST /v1/remap/stream  failure-reactive re-mapping campaign (NDJSON stream)
+//	GET  /healthz          liveness probe
+//	GET  /v1/stats         request and session-cache counters
 //
 // Example:
 //
@@ -29,6 +30,12 @@
 //	-deadline 30s     default per-request deadline (when the request has none)
 //	-maxbatch 64      largest accepted batch
 //	-parallel 0       concurrent solves per batch (0 = GOMAXPROCS)
+//	-maxbody 8388608  largest accepted request body in bytes (413 past it)
+//	-drain 10s        graceful-shutdown drain deadline on SIGINT/SIGTERM
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests (including open re-mapping streams) for up to the
+// -drain duration before exiting; a second signal aborts immediately.
 package main
 
 import (
@@ -51,6 +58,8 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxBatch := flag.Int("maxbatch", 64, "largest accepted batch")
 	parallel := flag.Int("parallel", 0, "concurrent solves per batch (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("maxbody", 8<<20, "largest accepted request body in bytes")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	svc := serve.New(serve.Config{
@@ -58,6 +67,7 @@ func main() {
 		DefaultDeadline:  *deadline,
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *parallel,
+		MaxBodyBytes:     *maxBody,
 	})
 	server := &http.Server{
 		Addr:              *addr,
@@ -76,8 +86,11 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("pipeserve: %v", err)
 	case <-ctx.Done():
-		log.Printf("pipeserve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// stop() re-arms the signals: a second SIGINT/SIGTERM during the
+		// drain kills the process immediately instead of waiting it out.
+		stop()
+		log.Printf("pipeserve: draining for up to %s (signal again to abort)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("pipeserve: shutdown: %v", err)

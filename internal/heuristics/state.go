@@ -17,6 +17,11 @@ type searcher struct {
 	m    int
 	free []int // reusable unused-processor buffer (ascending ids)
 	ids  []int // reusable replica-id buffer (ascending ids)
+	// banned, when non-nil, removes processors from the candidate pool:
+	// freeProcs never offers them, so no move enrolls one. Repair sets it
+	// to the failed set of a fault-injection campaign; the full searches
+	// leave it nil.
+	banned bitset.Set
 	// Greedy's per-class bounded structural candidate lists.
 	topSplit, topMerge, topMigrate []rankEntry
 
@@ -52,14 +57,15 @@ func newSearcher(pr *Problem) (*searcher, error) {
 }
 
 // freeProcs refills and returns the searcher's buffer of processors not
-// enrolled by the current state, in ascending id order.
+// enrolled by the current state (and not banned), in ascending id order.
 func (s *searcher) freeProcs() []int {
 	s.free = s.free[:0]
 	used := s.st.Used()
 	for u := 0; u < s.m; u++ {
-		if !used.Test(u) {
-			s.free = append(s.free, u)
+		if used.Test(u) || (s.banned != nil && s.banned.Test(u)) {
+			continue
 		}
+		s.free = append(s.free, u)
 	}
 	return s.free
 }

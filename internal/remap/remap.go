@@ -1,0 +1,557 @@
+// Package remap closes the simulator ↔ solver loop: a failure-reactive
+// controller that keeps a deployed interval mapping valid — and as close
+// to its latency/reliability bound as the surviving platform allows —
+// while processors crash and recover.
+//
+// The controller subscribes to fault events (see internal/sim's
+// fault-injection harness) and on each transition warm-restarts the
+// search from the *current* mapping instead of solving from scratch:
+// dead replicas are evicted in place on the incremental
+// mapping.EvalState, bounded greedy repair re-optimizes the survivors
+// (heuristics.Repair), and when the remaining per-event deadline budget
+// allows it escalates to the exact branch-and-bound on the alive
+// sub-platform. When the bound can no longer be met the controller
+// degrades gracefully: it still installs the best valid mapping found
+// (excluding every failed processor) and reports the violation, because
+// a degraded-but-running pipeline beats none.
+//
+// Invariants:
+//
+//   - after every successfully applied event the installed mapping is a
+//     valid interval mapping that assigns no failed processor, and
+//     sim.SurvivesFailures(mapping, failed) holds;
+//   - event application is serialized (internal mutex): the controller
+//     is safe for concurrent Apply/Current use and for a Run event loop
+//     fed from another goroutine;
+//   - repair sequences are deterministic for a fixed (instance, start,
+//     schedule, config) as long as the escalation decision is stable —
+//     the mapping-count gate is deterministic, and the wall-clock gate
+//     only flips when a repair consumes nearly the whole per-event
+//     budget.
+package remap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// DefaultDeadline is the per-event repair budget when Config.Deadline is
+// zero: enough for the bounded greedy repair at any width plus a small
+// exact escalation, small enough to keep a streaming controller live.
+const DefaultDeadline = 50 * time.Millisecond
+
+// DefaultExactBudget is the largest estimated interval-mapping count of
+// the alive sub-platform for which a repair escalates to the exact
+// search (Config.ExactBudget == 0). It is deliberately much smaller than
+// the offline solver's budget: escalation shares the per-event deadline
+// with the greedy repair that already ran.
+const DefaultExactBudget = 200_000
+
+// DefaultEscalateReserve is the minimum remaining per-event budget
+// required to attempt exact escalation (Config.EscalateReserve == 0).
+const DefaultEscalateReserve = 5 * time.Millisecond
+
+// ErrAllFailed is returned when every processor is down: no valid
+// mapping exists, the controller keeps the last installed mapping and
+// waits for recoveries.
+var ErrAllFailed = errors.New("remap: every processor has failed")
+
+// Config tunes a Controller. The zero value minimizes failure
+// probability with no latency bound under the default budgets.
+type Config struct {
+	// Objective selects the minimized criterion (the other is bounded).
+	Objective core.Objective
+	// MaxLatency bounds the latency when minimizing failure probability
+	// (0 or +Inf: unconstrained).
+	MaxLatency float64
+	// MaxFailProb bounds the failure probability when minimizing latency
+	// (0 or 1: unconstrained).
+	MaxFailProb float64
+	// Deadline is the per-event repair budget (default DefaultDeadline).
+	// Past it the controller installs its best-so-far mapping graded
+	// Partial.
+	Deadline time.Duration
+	// RepairRounds bounds the greedy repair's point-move rounds
+	// (0 = heuristics.RepairBudget default).
+	RepairRounds int
+	// ExactBudget gates escalation to the exact search: it runs only
+	// when the alive sub-platform's estimated mapping count is at most
+	// this (0 = DefaultExactBudget; negative disables escalation).
+	ExactBudget float64
+	// EscalateReserve is the minimum remaining per-event budget for the
+	// escalation to be attempted (default DefaultEscalateReserve).
+	EscalateReserve time.Duration
+	// Workers is the goroutine count of the escalated exact search
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Eval optionally carries the session-cached evaluator for
+	// (pipeline, platform), so the controller's repair state shares the
+	// precomputation. Built on demand when nil.
+	Eval *mapping.Evaluator
+}
+
+func (c Config) deadline() time.Duration {
+	if c.Deadline <= 0 {
+		return DefaultDeadline
+	}
+	return c.Deadline
+}
+
+func (c Config) exactBudget() float64 {
+	if c.ExactBudget == 0 {
+		return DefaultExactBudget
+	}
+	return c.ExactBudget
+}
+
+func (c Config) escalateReserve() time.Duration {
+	if c.EscalateReserve <= 0 {
+		return DefaultEscalateReserve
+	}
+	return c.EscalateReserve
+}
+
+// Violation reports that the installed mapping exceeds the configured
+// bound (the pipeline keeps running, degraded).
+type Violation struct {
+	// Metric is the violated bound: "latency" or "failureProb".
+	Metric string `json:"metric"`
+	// Value is the installed mapping's metric value.
+	Value float64 `json:"value"`
+	// Bound is the configured limit it exceeds.
+	Bound float64 `json:"bound"`
+}
+
+// Repair reports one controller reaction: the event, the mapping now
+// installed, its metrics and provenance, and the repair latency.
+type Repair struct {
+	// Event is the fault event that triggered the repair (zero-valued
+	// Seq/Time for one-shot Sync repairs).
+	Event sim.FaultEvent
+	// Mapping is the installed mapping after the event (never assigns a
+	// failed processor).
+	Mapping *mapping.Mapping
+	// Metrics are Mapping's analytic latency and failure probability,
+	// computed through the controller's evaluator.
+	Metrics mapping.Metrics
+	// Certainty grades the repair: Heuristic for the greedy warm repair,
+	// ExhaustivelyOptimal/ProvablyOptimal when escalation completed, and
+	// Partial when the per-event deadline truncated the search.
+	Certainty core.Certainty
+	// Method names the repair route taken.
+	Method string
+	// Changed is false when the event required no re-mapping (redundant
+	// transition, or a crash of a processor the mapping does not use).
+	Changed bool
+	// Violation is non-nil when the configured bound can no longer be
+	// met on the surviving platform; the mapping is the best degraded
+	// answer.
+	Violation *Violation
+	// Down lists the processors failed after this event (sorted).
+	Down []int
+	// Elapsed is the wall-clock repair time for this event.
+	Elapsed time.Duration
+}
+
+// Controller is the failure-reactive re-mapping loop. Create it with
+// New; it is safe for concurrent use.
+type Controller struct {
+	pipe *pipeline.Pipeline
+	plat *platform.Platform
+	cfg  Config
+	hp   *heuristics.Problem
+
+	mu     sync.Mutex
+	fs     *sim.FaultState
+	banned bitset.Set
+	cur    *mapping.Mapping
+	met    mapping.Metrics
+	grade  core.Certainty
+}
+
+// New validates the instance and the starting mapping and returns a
+// controller with every processor alive and start installed.
+func New(pipe *pipeline.Pipeline, plat *platform.Platform, start *mapping.Mapping, cfg Config) (*Controller, error) {
+	if pipe == nil || plat == nil || start == nil {
+		return nil, fmt.Errorf("remap: controller needs a pipeline, a platform and a starting mapping")
+	}
+	if err := pipe.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := start.Validate(pipe.NumStages(), plat.NumProcs()); err != nil {
+		return nil, fmt.Errorf("remap: starting mapping: %w", err)
+	}
+	ev := cfg.Eval
+	if ev == nil {
+		var err error
+		ev, err = mapping.NewEvaluator(pipe, plat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hp := &heuristics.Problem{Pipe: pipe, Plat: plat, Eval: ev}
+	if cfg.Objective == core.MinimizeFailureProb {
+		hp.Goal = heuristics.MinFP
+		hp.Bound = cfg.MaxLatency
+		if hp.Bound == 0 || math.IsInf(hp.Bound, 1) {
+			hp.Bound = math.Inf(1)
+		}
+	} else {
+		hp.Goal = heuristics.MinLatency
+		hp.Bound = cfg.MaxFailProb
+		if hp.Bound == 0 || hp.Bound == 1 {
+			hp.Bound = 1
+		}
+	}
+	met, err := ev.EvaluateMapping(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		pipe:   pipe,
+		plat:   plat,
+		cfg:    cfg,
+		hp:     hp,
+		fs:     sim.NewFaultState(plat.NumProcs()),
+		banned: bitset.Make(plat.NumProcs()),
+		cur:    start,
+		met:    met,
+		grade:  core.Heuristic,
+	}, nil
+}
+
+// Current snapshots the installed mapping, its metrics and the failed
+// set. The mapping pointer is never mutated by the controller (repairs
+// install fresh mappings), so the caller may read it freely; the failed
+// slice is a copy.
+func (c *Controller) Current() (*mapping.Mapping, mapping.Metrics, []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	failed := append([]bool(nil), c.fs.Failed()...)
+	return c.cur, c.met, failed
+}
+
+// Apply folds one fault event into the controller's failure state and
+// re-plans when the event affects the installed mapping (any crash of
+// an enrolled processor, or any recovery — recoveries reopen placement
+// options worth a cheap improvement pass). It returns the repair record;
+// the error is non-nil only when no valid mapping exists (ErrAllFailed)
+// or the event is malformed.
+func (c *Controller) Apply(ctx context.Context, ev sim.FaultEvent) (Repair, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	m := c.plat.NumProcs()
+	if ev.Proc < 0 || ev.Proc >= m {
+		return Repair{}, fmt.Errorf("remap: event targets processor %d (platform has %d)", ev.Proc, m)
+	}
+	if ev.Kind != sim.FaultCrash && ev.Kind != sim.FaultRecover {
+		return Repair{}, fmt.Errorf("remap: unknown fault kind %d", int(ev.Kind))
+	}
+	changed := c.fs.Apply(ev)
+	if changed {
+		if ev.Kind == sim.FaultCrash {
+			c.banned.Add(ev.Proc)
+		} else {
+			c.banned.Remove(ev.Proc)
+		}
+	}
+	if !changed {
+		return c.unchanged(ev, "no-op (redundant transition)", start), nil
+	}
+	if ev.Kind == sim.FaultCrash && !c.mappingUses(ev.Proc) {
+		// The crash shrinks the pool but touches no installed replica:
+		// the mapping stays valid, nothing to re-plan.
+		return c.unchanged(ev, "unaffected (processor not enrolled)", start), nil
+	}
+	return c.repairLocked(ctx, ev, start)
+}
+
+// Sync replaces the whole failure state with the given crash pattern and
+// repairs once — the one-shot Remap entry point.
+func (c *Controller) Sync(ctx context.Context, failed []bool) (Repair, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.plat.NumProcs()
+	if len(failed) != m {
+		return Repair{}, fmt.Errorf("remap: failure vector has %d entries, want %d", len(failed), m)
+	}
+	start := time.Now()
+	c.fs = sim.NewFaultState(m)
+	c.banned.Zero()
+	for u, f := range failed {
+		if f {
+			c.fs.Apply(sim.FaultEvent{Proc: u, Kind: sim.FaultCrash})
+			c.banned.Add(u)
+		}
+	}
+	return c.repairLocked(ctx, sim.FaultEvent{Seq: -1}, start)
+}
+
+// Run consumes fault events until the channel closes or ctx is done,
+// emitting one Repair per event. A nil emit just drives the controller.
+// Emit errors abort the loop (e.g. a disconnected stream consumer).
+func (c *Controller) Run(ctx context.Context, events <-chan sim.FaultEvent, emit func(Repair) error) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("remap: run canceled: %w", context.Cause(ctx))
+		case ev, ok := <-events:
+			if !ok {
+				return nil
+			}
+			rep, err := c.Apply(ctx, ev)
+			if err != nil {
+				return err
+			}
+			if emit != nil {
+				if err := emit(rep); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// Campaign replays a scripted schedule synchronously, emitting one
+// Repair per event.
+func (c *Controller) Campaign(ctx context.Context, schedule sim.FaultSchedule, emit func(Repair) error) error {
+	if err := schedule.Validate(c.plat.NumProcs()); err != nil {
+		return err
+	}
+	for _, ev := range schedule {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("remap: campaign canceled: %w", context.Cause(ctx))
+		}
+		rep, err := c.Apply(ctx, ev)
+		if err != nil {
+			return err
+		}
+		if emit != nil {
+			if err := emit(rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unchanged records a no-repair reaction (c.mu held).
+func (c *Controller) unchanged(ev sim.FaultEvent, method string, start time.Time) Repair {
+	return Repair{
+		Event:     ev,
+		Mapping:   c.cur,
+		Metrics:   c.met,
+		Certainty: c.grade,
+		Method:    method,
+		Violation: c.violation(c.met),
+		Down:      c.fs.FailedProcs(),
+		Elapsed:   time.Since(start),
+	}
+}
+
+// mappingUses reports whether the installed mapping enrolls u (c.mu held).
+func (c *Controller) mappingUses(u int) bool {
+	for _, procs := range c.cur.Alloc {
+		for _, v := range procs {
+			if v == u {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// violation grades met against the configured bound (nil when met).
+func (c *Controller) violation(met mapping.Metrics) *Violation {
+	if c.hp.Goal == heuristics.MinFP {
+		if math.IsInf(c.hp.Bound, 1) || met.Latency <= c.hp.Bound+1e-9*math.Max(1, math.Abs(c.hp.Bound)) {
+			return nil
+		}
+		return &Violation{Metric: "latency", Value: met.Latency, Bound: c.hp.Bound}
+	}
+	if met.FailureProb <= c.hp.Bound+1e-12 {
+		return nil
+	}
+	return &Violation{Metric: "failureProb", Value: met.FailureProb, Bound: c.hp.Bound}
+}
+
+// repairLocked re-plans from the current mapping under the current
+// failure state (c.mu held): bounded greedy warm repair, then exact
+// escalation when the remaining per-event budget and the alive
+// sub-platform's size allow it.
+func (c *Controller) repairLocked(ctx context.Context, ev sim.FaultEvent, start time.Time) (Repair, error) {
+	if c.fs.Alive() == 0 {
+		return Repair{}, ErrAllFailed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := c.cfg.deadline()
+	rctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	res, rerr := heuristics.Repair(rctx, c.hp, c.cur, c.banned, heuristics.RepairBudget{Rounds: c.cfg.RepairRounds})
+	if res.Mapping == nil {
+		if rerr == nil {
+			rerr = fmt.Errorf("remap: repair produced no mapping")
+		}
+		return Repair{}, rerr
+	}
+	grade := core.Heuristic
+	method := "greedy warm repair"
+	if rerr != nil {
+		grade = core.Partial
+		method = "greedy warm repair (deadline truncated)"
+	}
+
+	// Escalate to the exact search on the alive sub-platform when the
+	// remaining budget allows; a canceled escalation degrades to the
+	// greedy result graded Partial.
+	if rerr == nil {
+		remaining := deadline - time.Since(start)
+		exm, exMet, exCert, exMethod, status := c.escalate(rctx, remaining)
+		switch status {
+		case escDone:
+			res.Mapping, res.Metrics = exm, exMet
+			grade, method = exCert, exMethod
+		case escCanceled:
+			grade = core.Partial
+			method = "greedy warm repair (escalation canceled)"
+		}
+	}
+
+	c.cur, c.met, c.grade = res.Mapping, res.Metrics, grade
+	return Repair{
+		Event:     ev,
+		Mapping:   res.Mapping,
+		Metrics:   res.Metrics,
+		Certainty: grade,
+		Method:    method,
+		Changed:   true,
+		Violation: c.violation(res.Metrics),
+		Down:      c.fs.FailedProcs(),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// escStatus reports how an escalation attempt ended.
+type escStatus int
+
+const (
+	// escSkipped: the gates blocked escalation, it failed, or it proved
+	// infeasible — the greedy repair stands with its own grade.
+	escSkipped escStatus = iota
+	// escDone: the exact search completed; adopt its mapping and grade.
+	escDone
+	// escCanceled: the per-event deadline fired mid-escalation; the
+	// greedy repair stands, graded Partial.
+	escCanceled
+)
+
+// escalate runs the exact solver over the alive sub-platform when the
+// gates pass. On success the returned metrics are recomputed through the
+// controller's own evaluator, so installed metrics always share one
+// float pipeline.
+func (c *Controller) escalate(ctx context.Context, remaining time.Duration) (*mapping.Mapping, mapping.Metrics, core.Certainty, string, escStatus) {
+	budget := c.cfg.exactBudget()
+	if budget < 0 || remaining < c.cfg.escalateReserve() {
+		return nil, mapping.Metrics{}, 0, "", escSkipped
+	}
+	n, alive := c.pipe.NumStages(), c.fs.Alive()
+	if core.EstimateMappingCount(n, alive) > budget {
+		return nil, mapping.Metrics{}, 0, "", escSkipped
+	}
+	sub, ids := alivePlatform(c.plat, c.fs.Failed())
+	pr := core.Problem{
+		Pipeline:    c.pipe,
+		Platform:    sub,
+		Objective:   c.cfg.Objective,
+		MaxLatency:  c.cfg.MaxLatency,
+		MaxFailProb: c.cfg.MaxFailProb,
+	}
+	ectx, cancel := context.WithTimeout(ctx, remaining)
+	defer cancel()
+	exres, err := core.SolveCtx(ectx, pr, core.Options{ExactBudget: budget, Workers: c.cfg.Workers})
+	if ectx.Err() != nil {
+		return nil, mapping.Metrics{}, 0, "", escCanceled
+	}
+	if err != nil || exres.Mapping == nil {
+		return nil, mapping.Metrics{}, 0, "", escSkipped
+	}
+	if exres.Certainty != core.ExhaustivelyOptimal && exres.Certainty != core.ProvablyOptimal {
+		// A truncated or heuristic escalation cannot beat the warm
+		// repair's claim; keep the greedy result.
+		return nil, mapping.Metrics{}, 0, "", escSkipped
+	}
+	translated := translateMapping(exres.Mapping, ids)
+	met, mErr := c.hp.Eval.EvaluateMapping(translated)
+	if mErr != nil {
+		return nil, mapping.Metrics{}, 0, "", escSkipped
+	}
+	return translated, met, exres.Certainty, "warm repair + exact escalation: " + exres.Method, escDone
+}
+
+// alivePlatform builds the platform restricted to the alive processors,
+// returning it together with the sub-index → original-id table.
+func alivePlatform(pl *platform.Platform, failed []bool) (*platform.Platform, []int) {
+	m := pl.NumProcs()
+	ids := make([]int, 0, m)
+	for u := 0; u < m; u++ {
+		if !failed[u] {
+			ids = append(ids, u)
+		}
+	}
+	k := len(ids)
+	sub := &platform.Platform{
+		Speed:    make([]float64, k),
+		FailProb: make([]float64, k),
+		B:        make([][]float64, k),
+		BIn:      make([]float64, k),
+		BOut:     make([]float64, k),
+	}
+	for i, u := range ids {
+		sub.Speed[i] = pl.Speed[u]
+		sub.FailProb[i] = pl.FailProb[u]
+		sub.BIn[i] = pl.BIn[u]
+		sub.BOut[i] = pl.BOut[u]
+		row := make([]float64, k)
+		for j, v := range ids {
+			row[j] = pl.B[u][v]
+		}
+		sub.B[i] = row
+	}
+	return sub, ids
+}
+
+// translateMapping rewrites a sub-platform mapping back to original
+// processor ids.
+func translateMapping(m *mapping.Mapping, ids []int) *mapping.Mapping {
+	out := &mapping.Mapping{
+		Intervals: append([]mapping.Interval(nil), m.Intervals...),
+		Alloc:     make([][]int, len(m.Alloc)),
+	}
+	for j, procs := range m.Alloc {
+		row := make([]int, len(procs))
+		for i, u := range procs {
+			row[i] = ids[u]
+		}
+		out.Alloc[j] = row
+	}
+	return out
+}

@@ -1,0 +1,486 @@
+package remap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// solveStart produces a starting mapping for an instance with the same
+// objective/bounds the controller will run under.
+func solveStart(t testing.TB, pr core.Problem) *mapping.Mapping {
+	t.Helper()
+	res, err := core.SolveCtx(context.Background(), pr, core.Options{})
+	if err != nil {
+		t.Fatalf("start solve: %v", err)
+	}
+	return res.Mapping
+}
+
+// assertRepairInvariant checks the controller's core guarantee: the
+// installed mapping is valid, assigns no failed processor, and the
+// simulator agrees it survives the failure pattern.
+func assertRepairInvariant(t testing.TB, p *pipeline.Pipeline, pl *platform.Platform, rep Repair, failed []bool) {
+	t.Helper()
+	if rep.Mapping == nil {
+		t.Fatal("repair installed a nil mapping")
+	}
+	if err := rep.Mapping.Validate(p.NumStages(), pl.NumProcs()); err != nil {
+		t.Fatalf("installed mapping invalid after %v: %v", rep.Event, err)
+	}
+	for j, procs := range rep.Mapping.Alloc {
+		for _, u := range procs {
+			if failed[u] {
+				t.Fatalf("interval %d assigns failed processor %d after %v", j, u, rep.Event)
+			}
+		}
+	}
+	if !sim.SurvivesFailures(rep.Mapping, failed) {
+		t.Fatalf("sim.SurvivesFailures disagrees after %v", rep.Event)
+	}
+}
+
+// usedProcs returns distinct processors enrolled by m, in first-seen order.
+func usedProcs(m *mapping.Mapping) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, procs := range m.Alloc {
+		for _, u := range procs {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// TestCampaignM80 is the acceptance campaign: three sequential crashes
+// of enrolled processors on a wide (m = 80) platform, with the mapping
+// staying valid throughout and the whole repair sequence deterministic
+// across identical runs.
+func TestCampaignM80(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := workload.Random(rng, platform.FullyHeterogeneous, 12, 80)
+	// Self-calibrate a latency bound: twice the (heuristic) minimum
+	// latency leaves room to replicate, so the min-FP start enrolls a
+	// realistic multi-interval, multi-replica mapping.
+	lref, err := core.SolveCtx(context.Background(), core.Problem{
+		Pipeline: inst.Pipeline, Platform: inst.Platform, Objective: core.MinimizeLatency,
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 * lref.Metrics.Latency
+	pr := core.Problem{
+		Pipeline:   inst.Pipeline,
+		Platform:   inst.Platform,
+		Objective:  core.MinimizeFailureProb,
+		MaxLatency: bound,
+	}
+	start := solveStart(t, pr)
+	victims := usedProcs(start)
+	if len(victims) < 3 {
+		t.Fatalf("start mapping enrolls only %d processors", len(victims))
+	}
+	schedule := sim.ScriptedCrashes(victims[0], victims[1], victims[2])
+
+	run := func() []string {
+		cfg := Config{Objective: core.MinimizeFailureProb, MaxLatency: bound}
+		c, err := New(inst.Pipeline, inst.Platform, start, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var installed []string
+		err = c.Campaign(context.Background(), schedule, func(rep Repair) error {
+			_, _, failed := c.Current()
+			assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+			if !rep.Changed {
+				t.Fatalf("crash of enrolled processor %d did not trigger a repair", rep.Event.Proc)
+			}
+			installed = append(installed, rep.Mapping.String())
+			t.Logf("event %v: %s in %v (grade %v)", rep.Event, rep.Method, rep.Elapsed, rep.Certainty)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return installed
+	}
+
+	a, b := run(), run()
+	if len(a) != len(schedule) {
+		t.Fatalf("got %d repairs for %d events", len(a), len(schedule))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("repair %d differs across identical runs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRandomCampaignsProperty sweeps seeds: under any generated
+// crash/recovery schedule, every successfully applied event leaves a
+// valid mapping that excludes the failed set.
+func TestRandomCampaignsProperty(t *testing.T) {
+	const n, m = 8, 20
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := workload.Random(rng, platform.FullyHeterogeneous, n, m)
+		pr := core.Problem{Pipeline: inst.Pipeline, Platform: inst.Platform, Objective: core.MinimizeFailureProb}
+		start := solveStart(t, pr)
+		c, err := New(inst.Pipeline, inst.Platform, start, Config{Objective: core.MinimizeFailureProb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedule := sim.RandomFaultSchedule(rng, m, sim.RandomFaultConfig{Events: 24})
+		for _, ev := range schedule {
+			rep, err := c.Apply(context.Background(), ev)
+			if err != nil {
+				t.Fatalf("seed %d, event %+v: %v", seed, ev, err)
+			}
+			_, _, failed := c.Current()
+			assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+		}
+	}
+}
+
+// FuzzCrashSchedule decodes arbitrary bytes into a fault-event stream
+// and checks the repair invariant after every applied event. ErrAllFailed
+// may only surface when the stream really killed every processor; the
+// controller must keep working once recoveries arrive.
+func FuzzCrashSchedule(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 0, 1})
+	f.Add([]byte{3, 0, 3, 1, 3, 0, 5, 0, 7, 0})
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8, 0})
+
+	const n, m = 4, 9
+	rng := rand.New(rand.NewSource(17))
+	inst := workload.Random(rng, platform.FullyHeterogeneous, n, m)
+	pr := core.Problem{Pipeline: inst.Pipeline, Platform: inst.Platform, Objective: core.MinimizeFailureProb}
+	res, err := core.SolveCtx(context.Background(), pr, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	start := res.Mapping
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := New(inst.Pipeline, inst.Platform, start, Config{Objective: core.MinimizeFailureProb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := m
+		failed := make([]bool, m)
+		for i := 0; i+1 < len(data); i += 2 {
+			proc := int(data[i]) % m
+			kind := sim.FaultCrash
+			if data[i+1]%2 == 1 {
+				kind = sim.FaultRecover
+			}
+			ev := sim.FaultEvent{Seq: i / 2, Time: float64(i), Proc: proc, Kind: kind}
+			wouldKillAll := kind == sim.FaultCrash && !failed[proc] && alive == 1
+			rep, err := c.Apply(context.Background(), ev)
+			if wouldKillAll {
+				if !errors.Is(err, ErrAllFailed) {
+					t.Fatalf("killing the last processor: got %v, want ErrAllFailed", err)
+				}
+				failed[proc], alive = true, 0
+				continue
+			}
+			if err != nil {
+				t.Fatalf("event %+v: %v", ev, err)
+			}
+			if kind == sim.FaultCrash && !failed[proc] {
+				failed[proc], alive = true, alive-1
+			} else if kind == sim.FaultRecover && failed[proc] {
+				failed[proc], alive = false, alive+1
+			}
+			assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+		}
+	})
+}
+
+// TestCancelDuringEscalation: when the per-event deadline fires while
+// the exact escalation is running, the controller returns the
+// greedy-repaired mapping graded Partial — fast.
+func TestCancelDuringEscalation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := workload.Random(rng, platform.FullyHeterogeneous, 12, 14)
+	pr := core.Problem{
+		Pipeline:   inst.Pipeline,
+		Platform:   inst.Platform,
+		Objective:  core.MinimizeFailureProb,
+		MaxLatency: math.Inf(1),
+	}
+	start := solveStart(t, pr)
+	// A finite latency bound keeps the problem in the hard class, and a
+	// huge ExactBudget forces the escalation gate open on an instance far
+	// too big to enumerate within the deadline.
+	cfg := Config{
+		Objective:   core.MinimizeFailureProb,
+		MaxLatency:  1e12,
+		Deadline:    30 * time.Millisecond,
+		ExactBudget: 1e18,
+		Workers:     1,
+	}
+	c, err := New(inst.Pipeline, inst.Platform, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := usedProcs(start)[0]
+	t0 := time.Now()
+	rep, err := c.Apply(context.Background(), sim.FaultEvent{Proc: victim, Kind: sim.FaultCrash})
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("deadline-truncated repair took %v, want < 100ms", elapsed)
+	}
+	if rep.Certainty != core.Partial {
+		t.Errorf("certainty = %v (%s), want Partial", rep.Certainty, rep.Method)
+	}
+	_, _, failed := c.Current()
+	assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+}
+
+// TestEscalationCompletes: on a small instance with budget to spare the
+// repair upgrades to an exact grade.
+func TestEscalationCompletes(t *testing.T) {
+	p, pl := workload.Fig5()
+	pr := core.Problem{Pipeline: p, Platform: pl, Objective: core.MinimizeFailureProb, MaxLatency: 22}
+	start := solveStart(t, pr)
+	cfg := Config{
+		Objective:   core.MinimizeFailureProb,
+		MaxLatency:  22,
+		Deadline:    5 * time.Second,
+		ExactBudget: 5_000_000,
+	}
+	c, err := New(p, pl, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := usedProcs(start)[0]
+	rep, err := c.Apply(context.Background(), sim.FaultEvent{Proc: victim, Kind: sim.FaultCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Certainty != core.ExhaustivelyOptimal && rep.Certainty != core.ProvablyOptimal {
+		t.Errorf("certainty = %v (%s), want an exact grade", rep.Certainty, rep.Method)
+	}
+	_, _, failed := c.Current()
+	assertRepairInvariant(t, p, pl, rep, failed)
+}
+
+// TestRecoveryReEnrolls: after a crash and a recovery the controller
+// re-opens the recovered processor to placement and reports an empty
+// failed set.
+func TestRecoveryReEnrolls(t *testing.T) {
+	p, pl := workload.Fig5()
+	pr := core.Problem{Pipeline: p, Platform: pl, Objective: core.MinimizeFailureProb, MaxLatency: 22}
+	start := solveStart(t, pr)
+	c, err := New(p, pl, start, Config{Objective: core.MinimizeFailureProb, MaxLatency: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := usedProcs(start)[0]
+	if _, err := c.Apply(context.Background(), sim.FaultEvent{Proc: victim, Kind: sim.FaultCrash}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Apply(context.Background(), sim.FaultEvent{Proc: victim, Kind: sim.FaultRecover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Changed {
+		t.Error("recovery must trigger a re-optimization pass")
+	}
+	if len(rep.Down) != 0 {
+		t.Errorf("Down = %v after full recovery, want empty", rep.Down)
+	}
+	_, met, failed := c.Current()
+	assertRepairInvariant(t, p, pl, rep, failed)
+	if met != rep.Metrics {
+		t.Errorf("Current metrics %+v disagree with repair metrics %+v", met, rep.Metrics)
+	}
+}
+
+// TestUnaffectedCrashFastPath: crashing a processor the mapping does not
+// enroll must not re-plan.
+func TestUnaffectedCrashFastPath(t *testing.T) {
+	p, pl := workload.Fig5()
+	pr := core.Problem{Pipeline: p, Platform: pl, Objective: core.MinimizeFailureProb, MaxLatency: 22}
+	start := solveStart(t, pr)
+	used := map[int]bool{}
+	for _, u := range usedProcs(start) {
+		used[u] = true
+	}
+	spare := -1
+	for u := 0; u < pl.NumProcs(); u++ {
+		if !used[u] {
+			spare = u
+			break
+		}
+	}
+	if spare < 0 {
+		t.Skip("start mapping enrolls every processor")
+	}
+	c, err := New(p, pl, start, Config{Objective: core.MinimizeFailureProb, MaxLatency: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Apply(context.Background(), sim.FaultEvent{Proc: spare, Kind: sim.FaultCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Changed {
+		t.Errorf("crash of unenrolled processor %d re-planned: %s", spare, rep.Method)
+	}
+	if rep.Mapping != start {
+		t.Error("unaffected crash must keep the installed mapping")
+	}
+	if len(rep.Down) != 1 || rep.Down[0] != spare {
+		t.Errorf("Down = %v, want [%d]", rep.Down, spare)
+	}
+}
+
+// TestViolationReport: when the surviving platform cannot meet the
+// bound, the controller still installs a valid mapping and reports the
+// violation.
+func TestViolationReport(t *testing.T) {
+	p, pl := workload.Fig34()
+	start := mapping.NewSingleInterval(p.NumStages(), []int{0, 1})
+	c, err := New(p, pl, start, Config{Objective: core.MinimizeFailureProb, MaxLatency: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Apply(context.Background(), sim.FaultEvent{Proc: 0, Kind: sim.FaultCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, failed := c.Current()
+	assertRepairInvariant(t, p, pl, rep, failed)
+	if rep.Violation == nil {
+		t.Fatalf("latency bound 1e-6 met with metrics %+v?", rep.Metrics)
+	}
+	if rep.Violation.Metric != "latency" {
+		t.Errorf("violated metric = %q, want latency", rep.Violation.Metric)
+	}
+	if rep.Violation.Value <= rep.Violation.Bound {
+		t.Errorf("violation value %g not above bound %g", rep.Violation.Value, rep.Violation.Bound)
+	}
+}
+
+// TestSyncOneShot: Sync replaces the failure state wholesale and repairs
+// once — the Remap entry point.
+func TestSyncOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := workload.Random(rng, platform.FullyHeterogeneous, 8, 20)
+	pr := core.Problem{Pipeline: inst.Pipeline, Platform: inst.Platform, Objective: core.MinimizeFailureProb}
+	start := solveStart(t, pr)
+	c, err := New(inst.Pipeline, inst.Platform, start, Config{Objective: core.MinimizeFailureProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := make([]bool, 20)
+	for _, u := range usedProcs(start)[:3] {
+		failed[u] = true
+	}
+	rep, err := c.Sync(context.Background(), failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+	if len(rep.Down) != 3 {
+		t.Errorf("Down = %v, want 3 processors", rep.Down)
+	}
+	if _, err := c.Sync(context.Background(), make([]bool, 7)); err == nil {
+		t.Error("mis-sized failure vector must be rejected")
+	}
+}
+
+// TestControllerConcurrentEventLoop drives Run from one goroutine while
+// another polls Current — the -race exercise for the controller's
+// serialization.
+func TestControllerConcurrentEventLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inst := workload.Random(rng, platform.FullyHeterogeneous, 8, 16)
+	pr := core.Problem{Pipeline: inst.Pipeline, Platform: inst.Platform, Objective: core.MinimizeFailureProb}
+	start := solveStart(t, pr)
+	c, err := New(inst.Pipeline, inst.Platform, start, Config{Objective: core.MinimizeFailureProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := sim.RandomFaultSchedule(rng, 16, sim.RandomFaultConfig{Events: 30})
+	events := make(chan sim.FaultEvent)
+	go func() {
+		defer close(events)
+		for _, ev := range schedule {
+			events <- ev
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m, _, failed := c.Current()
+				if m == nil || len(failed) != 16 {
+					t.Error("Current returned an inconsistent snapshot")
+					return
+				}
+			}
+		}
+	}()
+
+	count := 0
+	if err := c.Run(context.Background(), events, func(rep Repair) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if count != len(schedule) {
+		t.Errorf("emitted %d repairs for %d events", count, len(schedule))
+	}
+	_, _, failed := c.Current()
+	m, met, _ := c.Current()
+	assertRepairInvariant(t, inst.Pipeline, inst.Platform, Repair{Mapping: m, Metrics: met}, failed)
+}
+
+// TestRunEmitErrorAborts: an emit error (disconnected stream consumer)
+// stops the loop.
+func TestRunEmitErrorAborts(t *testing.T) {
+	p, pl := workload.Fig5()
+	pr := core.Problem{Pipeline: p, Platform: pl, Objective: core.MinimizeFailureProb, MaxLatency: 22}
+	start := solveStart(t, pr)
+	c, err := New(p, pl, start, Config{Objective: core.MinimizeFailureProb, MaxLatency: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan sim.FaultEvent, 2)
+	events <- sim.FaultEvent{Proc: usedProcs(start)[0], Kind: sim.FaultCrash}
+	close(events)
+	sentinel := errors.New("consumer gone")
+	if err := c.Run(context.Background(), events, func(Repair) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file is the fault-injection harness: failures are modeled as an
+// ordered *event stream* (crashes and recoveries at virtual times) rather
+// than a single static crash pattern, so a re-mapping controller can
+// subscribe and react to each transition. Schedules are either scripted
+// (explicit event lists) or stochastic (seeded generators, deterministic
+// for a fixed seed), and a FaultState tracks the cumulative alive/failed
+// picture an observer holds after each event.
+
+// FaultKind distinguishes the two processor state transitions of a
+// fault-injection campaign.
+type FaultKind int
+
+const (
+	// FaultCrash marks processor Proc as failed from Time on.
+	FaultCrash FaultKind = iota
+	// FaultRecover returns processor Proc to service at Time.
+	FaultRecover
+)
+
+// String returns the wire name of the kind ("crash" / "recover").
+func (k FaultKind) String() string {
+	if k == FaultCrash {
+		return "crash"
+	}
+	return "recover"
+}
+
+// FaultEvent is one transition of a fault-injection campaign.
+type FaultEvent struct {
+	// Seq is the event's position in its schedule (0-based, assigned by
+	// the schedule constructors; informational for consumers).
+	Seq int `json:"seq"`
+	// Time is the virtual occurrence time (non-decreasing in a schedule).
+	Time float64 `json:"time"`
+	// Proc is the affected processor id.
+	Proc int `json:"proc"`
+	// Kind is the transition: FaultCrash or FaultRecover.
+	Kind FaultKind `json:"kind"`
+}
+
+// FaultSchedule is an ordered fault-event sequence. Schedules are values:
+// safe to reuse, replay and share across runs.
+type FaultSchedule []FaultEvent
+
+// Validate checks that the schedule is well-formed for an m-processor
+// platform: processor ids in range and non-decreasing times. Redundant
+// transitions (crashing a crashed processor) are permitted — observers
+// treat them as no-ops — so scripted schedules compose freely.
+func (s FaultSchedule) Validate(m int) error {
+	prev := 0.0
+	for i, ev := range s {
+		if ev.Proc < 0 || ev.Proc >= m {
+			return fmt.Errorf("sim: fault event %d targets processor %d (platform has %d)", i, ev.Proc, m)
+		}
+		if ev.Kind != FaultCrash && ev.Kind != FaultRecover {
+			return fmt.Errorf("sim: fault event %d has unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Time < prev {
+			return fmt.Errorf("sim: fault event %d goes back in time (%g after %g)", i, ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+	return nil
+}
+
+// ScriptedCrashes builds the simplest campaign: the given processors
+// crash one after another at unit-spaced times, no recoveries.
+func ScriptedCrashes(procs ...int) FaultSchedule {
+	s := make(FaultSchedule, len(procs))
+	for i, u := range procs {
+		s[i] = FaultEvent{Seq: i, Time: float64(i + 1), Proc: u, Kind: FaultCrash}
+	}
+	return s
+}
+
+// Renumber rewrites the Seq fields to the events' positions, so hand-built
+// or concatenated schedules carry consistent sequence numbers.
+func (s FaultSchedule) Renumber() FaultSchedule {
+	for i := range s {
+		s[i].Seq = i
+	}
+	return s
+}
+
+// RandomFaultConfig tunes RandomFaultSchedule.
+type RandomFaultConfig struct {
+	// Events is the number of events drawn (default 8).
+	Events int
+	// CrashBias is the probability that an event is a crash rather than a
+	// recovery of an already-failed processor (default 0.7). Recoveries
+	// are only drawn when some processor is down; otherwise the event is a
+	// crash regardless of the bias.
+	CrashBias float64
+	// MeanGap is the mean exponential inter-event time (default 1).
+	MeanGap float64
+	// MaxDown caps how many processors may be down simultaneously
+	// (default 0: no cap beyond m−1, so at least one processor always
+	// survives a generated schedule).
+	MaxDown int
+}
+
+func (c RandomFaultConfig) withDefaults(m int) RandomFaultConfig {
+	if c.Events <= 0 {
+		c.Events = 8
+	}
+	if c.CrashBias <= 0 || c.CrashBias > 1 {
+		c.CrashBias = 0.7
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 1
+	}
+	if c.MaxDown <= 0 || c.MaxDown > m-1 {
+		c.MaxDown = m - 1
+	}
+	return c
+}
+
+// RandomFaultSchedule draws a stochastic crash/recovery campaign over an
+// m-processor platform: exponential inter-event gaps, crashes of uniformly
+// chosen alive processors, recoveries of uniformly chosen failed ones.
+// The schedule is a deterministic function of (m, cfg, the RNG stream), so
+// a fixed seed reproduces the campaign exactly. At least one processor is
+// always left alive (cfg.MaxDown ≤ m−1).
+func RandomFaultSchedule(rng *rand.Rand, m int, cfg RandomFaultConfig) FaultSchedule {
+	cfg = cfg.withDefaults(m)
+	failed := make([]bool, m)
+	down := 0
+	now := 0.0
+	s := make(FaultSchedule, 0, cfg.Events)
+	for len(s) < cfg.Events {
+		now += rng.ExpFloat64() * cfg.MeanGap
+		crash := rng.Float64() < cfg.CrashBias
+		if down == 0 {
+			crash = true
+		}
+		if down >= cfg.MaxDown {
+			crash = false
+		}
+		var pool []int
+		for u := 0; u < m; u++ {
+			if failed[u] == !crash {
+				pool = append(pool, u)
+			}
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		u := pool[rng.Intn(len(pool))]
+		kind := FaultRecover
+		if crash {
+			kind = FaultCrash
+			failed[u] = true
+			down++
+		} else {
+			failed[u] = false
+			down--
+		}
+		s = append(s, FaultEvent{Seq: len(s), Time: now, Proc: u, Kind: kind})
+	}
+	return s
+}
+
+// FaultState tracks the cumulative failed/alive picture of a platform as
+// fault events are applied in order. The zero value is unusable; create
+// with NewFaultState. FaultState is not safe for concurrent use; guard it
+// externally (the remap controller serializes events through its own
+// mutex).
+type FaultState struct {
+	failed []bool
+	down   int
+}
+
+// NewFaultState returns an all-alive tracker for m processors.
+func NewFaultState(m int) *FaultState {
+	return &FaultState{failed: make([]bool, m)}
+}
+
+// Apply folds one event into the state and reports whether it changed
+// anything (false for redundant transitions: crashing a crashed processor
+// or recovering an alive one).
+func (fs *FaultState) Apply(ev FaultEvent) bool {
+	switch ev.Kind {
+	case FaultCrash:
+		if fs.failed[ev.Proc] {
+			return false
+		}
+		fs.failed[ev.Proc] = true
+		fs.down++
+		return true
+	case FaultRecover:
+		if !fs.failed[ev.Proc] {
+			return false
+		}
+		fs.failed[ev.Proc] = false
+		fs.down--
+		return true
+	}
+	return false
+}
+
+// Failed returns the live crash-pattern view (do not mutate; the slice is
+// shared with the tracker and is the shape RunInjected and
+// SurvivesFailures consume).
+func (fs *FaultState) Failed() []bool { return fs.failed }
+
+// Down returns how many processors are currently failed.
+func (fs *FaultState) Down() int { return fs.down }
+
+// Alive returns how many processors are currently in service.
+func (fs *FaultState) Alive() int { return len(fs.failed) - fs.down }
+
+// FailedProcs returns the sorted ids of the currently failed processors
+// (freshly allocated).
+func (fs *FaultState) FailedProcs() []int {
+	out := make([]int, 0, fs.down)
+	for u, f := range fs.failed {
+		if f {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

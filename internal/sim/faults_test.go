@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFaultScheduleValidate(t *testing.T) {
+	good := ScriptedCrashes(0, 2, 1)
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := good.Validate(2); err == nil {
+		t.Error("processor 2 on a 2-processor platform must be rejected")
+	}
+	back := FaultSchedule{
+		{Time: 2, Proc: 0, Kind: FaultCrash},
+		{Time: 1, Proc: 1, Kind: FaultCrash},
+	}
+	if err := back.Validate(3); err == nil {
+		t.Error("time-reversed schedule must be rejected")
+	}
+	bad := FaultSchedule{{Time: 1, Proc: 0, Kind: FaultKind(7)}}
+	if err := bad.Validate(3); err == nil {
+		t.Error("unknown kind must be rejected")
+	}
+}
+
+func TestRandomFaultScheduleDeterministicAndValid(t *testing.T) {
+	const m = 12
+	gen := func(seed int64) FaultSchedule {
+		return RandomFaultSchedule(rand.New(rand.NewSource(seed)), m, RandomFaultConfig{Events: 40})
+	}
+	a, b := gen(7), gen(7)
+	if len(a) != 40 {
+		t.Fatalf("got %d events, want 40", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if err := a.Validate(m); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	// The generator never kills the last processor and never emits
+	// redundant transitions.
+	fs := NewFaultState(m)
+	for _, ev := range a {
+		if !fs.Apply(ev) {
+			t.Fatalf("generated schedule contains redundant transition %+v", ev)
+		}
+		if fs.Alive() < 1 {
+			t.Fatal("generated schedule killed every processor")
+		}
+	}
+	if c := gen(8); len(c) == len(a) && c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Error("different seeds produced an identical schedule prefix (suspicious)")
+	}
+}
+
+func TestFaultStateTracking(t *testing.T) {
+	fs := NewFaultState(4)
+	if fs.Down() != 0 || fs.Alive() != 4 {
+		t.Fatalf("fresh state: down=%d alive=%d", fs.Down(), fs.Alive())
+	}
+	if !fs.Apply(FaultEvent{Proc: 2, Kind: FaultCrash}) {
+		t.Fatal("first crash must change state")
+	}
+	if fs.Apply(FaultEvent{Proc: 2, Kind: FaultCrash}) {
+		t.Error("crashing a crashed processor must be a no-op")
+	}
+	if got := fs.FailedProcs(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("FailedProcs = %v, want [2]", got)
+	}
+	if !fs.Failed()[2] {
+		t.Error("Failed()[2] must be true")
+	}
+	if !fs.Apply(FaultEvent{Proc: 2, Kind: FaultRecover}) {
+		t.Fatal("recovery of a failed processor must change state")
+	}
+	if fs.Apply(FaultEvent{Proc: 2, Kind: FaultRecover}) {
+		t.Error("recovering an alive processor must be a no-op")
+	}
+	if fs.Down() != 0 || len(fs.FailedProcs()) != 0 {
+		t.Errorf("after recovery: down=%d failed=%v", fs.Down(), fs.FailedProcs())
+	}
+}

@@ -6,10 +6,17 @@
 //
 // Endpoints (see Service):
 //
-//	POST /v1/solve        one SolveSpec  -> one SolveResult
-//	POST /v1/solve/batch  BatchRequest   -> BatchResponse
-//	GET  /healthz         liveness probe
-//	GET  /v1/stats        request and session-cache counters
+//	POST /v1/solve         one SolveSpec  -> one SolveResult
+//	POST /v1/solve/batch   BatchRequest   -> BatchResponse
+//	POST /v1/remap/stream  RemapSpec      -> NDJSON stream of RemapEvent
+//	GET  /healthz          liveness probe
+//	GET  /v1/stats         request and session-cache counters
+//
+// Serve-tier robustness: request bodies are capped (structured 413 past
+// MaxBodyBytes), handler panics are recovered into structured 500s (and
+// counted in /v1/stats), and the re-mapping stream degrades in-band —
+// every record carries either a repair or an error, never a dropped
+// status line.
 //
 // The wire format reuses the library's canonical JSON encodings of
 // Pipeline, Platform and Mapping, so a pipemap problem document is a
@@ -100,4 +107,5 @@ type Stats struct {
 	CacheMisses  int64 `json:"cacheMisses"`  // session built for the request
 	CacheSize    int   `json:"cacheSize"`    // sessions currently warm
 	CacheEvicted int64 `json:"cacheEvicted"` // sessions evicted by the LRU
+	Panics       int64 `json:"panics"`       // handler panics recovered by the middleware
 }

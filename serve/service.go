@@ -28,7 +28,8 @@ type Config struct {
 	// concurrently (default GOMAXPROCS).
 	BatchParallelism int
 	// MaxBodyBytes caps the accepted request body size (default 8 MiB);
-	// oversized requests fail with 400 instead of being decoded in full.
+	// oversized requests fail with a structured 413 instead of being
+	// decoded in full.
 	MaxBodyBytes int64
 }
 
@@ -58,6 +59,7 @@ type Service struct {
 	cache    *sessionCache
 	mux      *http.ServeMux
 	requests atomic.Int64
+	panics   atomic.Int64
 }
 
 // New builds a Service with its routes mounted.
@@ -69,13 +71,49 @@ func New(cfg Config) *Service {
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/remap/stream", s.handleRemapStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Handler panics are recovered and
+// answered with a structured 500 (best effort: a stream that already
+// wrote its header keeps its status line), so one poisoned request never
+// brings the server down; http.ErrAbortHandler is re-raised untouched.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// decodeRequest decodes the body under the service's size cap and writes
+// the failure response itself: a structured 413 (with the cap echoed)
+// when the body exceeds MaxBodyBytes, 400 on malformed JSON. It reports
+// whether decoding succeeded.
+func (s *Service) decodeRequest(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error:        fmt.Sprintf("%s body exceeds the %d-byte cap", what, tooBig.Limit),
+			MaxBodyBytes: tooBig.Limit,
+		})
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding %s: %v", what, err)})
+	return false
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -87,6 +125,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// MaxBodyBytes echoes the request-size cap on 413 responses.
+	MaxBodyBytes int64 `json:"maxBodyBytes,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -101,13 +141,13 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheMisses:  misses,
 		CacheSize:    size,
 		CacheEvicted: evicted,
+		Panics:       s.panics.Load(),
 	})
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var spec SolveSpec
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding solve request: %v", err)})
+	if !s.decodeRequest(w, r, "solve request", &spec) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.solveOne(r.Context(), spec))
@@ -115,8 +155,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var batch BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&batch); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding batch request: %v", err)})
+	if !s.decodeRequest(w, r, "batch request", &batch) {
 		return
 	}
 	if len(batch.Problems) == 0 {
@@ -157,31 +196,12 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 	if spec.Pipeline == nil || spec.Platform == nil {
 		return finish(SolveResult{Error: "request needs both \"pipeline\" and \"platform\""})
 	}
-	var objective repro.Objective
-	switch spec.Objective {
-	case "minLatency":
-		objective = repro.MinimizeLatency
-	case "minFailureProb", "minFP", "":
-		objective = repro.MinimizeFailureProb
-	default:
-		return finish(SolveResult{Error: fmt.Sprintf("unknown objective %q (want minLatency or minFailureProb)", spec.Objective)})
+	objective, err := parseObjective(spec.Objective)
+	if err != nil {
+		return finish(SolveResult{Error: err.Error()})
 	}
 
-	key, err := sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
-	if err != nil {
-		return finish(SolveResult{Error: fmt.Sprintf("hashing instance: %v", err)})
-	}
-	sess, hit, err := s.cache.getOrCreate(key, func() (*repro.Session, error) {
-		opts := []repro.SessionOption{
-			repro.WithWorkers(spec.Workers),
-			repro.WithExactBudget(spec.ExactBudget),
-			repro.WithForceHeuristic(spec.ForceHeuristic),
-		}
-		if spec.Seed != 0 {
-			opts = append(opts, repro.WithSeed(spec.Seed))
-		}
-		return repro.NewSession(spec.Pipeline, spec.Platform, opts...)
-	})
+	sess, hit, err := s.session(spec)
 	if err != nil {
 		return finish(SolveResult{Error: err.Error()})
 	}
@@ -216,5 +236,37 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 		Method:      res.Method,
 		Partial:     res.Certainty == repro.Partial,
 		CacheHit:    hit,
+	})
+}
+
+// parseObjective maps the wire objective to the library's enum.
+func parseObjective(name string) (repro.Objective, error) {
+	switch name {
+	case "minLatency":
+		return repro.MinimizeLatency, nil
+	case "minFailureProb", "minFP", "":
+		return repro.MinimizeFailureProb, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want minLatency or minFailureProb)", name)
+	}
+}
+
+// session returns the warm session for the spec's instance and tuning,
+// building and caching it on a miss.
+func (s *Service) session(spec SolveSpec) (*repro.Session, bool, error) {
+	key, err := sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
+	if err != nil {
+		return nil, false, fmt.Errorf("hashing instance: %w", err)
+	}
+	return s.cache.getOrCreate(key, func() (*repro.Session, error) {
+		opts := []repro.SessionOption{
+			repro.WithWorkers(spec.Workers),
+			repro.WithExactBudget(spec.ExactBudget),
+			repro.WithForceHeuristic(spec.ForceHeuristic),
+		}
+		if spec.Seed != 0 {
+			opts = append(opts, repro.WithSeed(spec.Seed))
+		}
+		return repro.NewSession(spec.Pipeline, spec.Platform, opts...)
 	})
 }
