@@ -63,9 +63,13 @@ const DefaultExactBudget = 200_000
 // required to attempt exact escalation (Config.EscalateReserve == 0).
 const DefaultEscalateReserve = 5 * time.Millisecond
 
-// ErrAllFailed is returned when every processor is down: no valid
-// mapping exists, the controller keeps the last installed mapping and
-// waits for recoveries.
+// ErrAllFailed is returned by Apply and Sync when every processor is
+// down: no valid mapping exists. The controller keeps the last installed
+// mapping and waits for recoveries — the accompanying Repair record
+// reports the hold (its mapping is the held one, so it necessarily
+// enrolls failed processors). Run and Campaign treat it as a non-fatal
+// per-event outcome: they emit the hold record and keep folding events,
+// so a later recovery resumes repairs.
 var ErrAllFailed = errors.New("remap: every processor has failed")
 
 // Config tunes a Controller. The zero value minimizes failure
@@ -250,8 +254,8 @@ func (c *Controller) Current() (*mapping.Mapping, mapping.Metrics, []bool) {
 // re-plans when the event affects the installed mapping (any crash of
 // an enrolled processor, or any recovery — recoveries reopen placement
 // options worth a cheap improvement pass). It returns the repair record;
-// the error is non-nil only when no valid mapping exists (ErrAllFailed)
-// or the event is malformed.
+// the error is non-nil only when no valid mapping exists (ErrAllFailed —
+// the record still reports the held mapping) or the event is malformed.
 func (c *Controller) Apply(ctx context.Context, ev sim.FaultEvent) (Repair, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -306,6 +310,8 @@ func (c *Controller) Sync(ctx context.Context, failed []bool) (Repair, error) {
 // Run consumes fault events until the channel closes or ctx is done,
 // emitting one Repair per event. A nil emit just drives the controller.
 // Emit errors abort the loop (e.g. a disconnected stream consumer).
+// ErrAllFailed is non-fatal: the hold record is emitted and the loop
+// keeps folding events so later recoveries resume repairs.
 func (c *Controller) Run(ctx context.Context, events <-chan sim.FaultEvent, emit func(Repair) error) error {
 	for {
 		select {
@@ -316,7 +322,7 @@ func (c *Controller) Run(ctx context.Context, events <-chan sim.FaultEvent, emit
 				return nil
 			}
 			rep, err := c.Apply(ctx, ev)
-			if err != nil {
+			if err != nil && !errors.Is(err, ErrAllFailed) {
 				return err
 			}
 			if emit != nil {
@@ -329,7 +335,8 @@ func (c *Controller) Run(ctx context.Context, events <-chan sim.FaultEvent, emit
 }
 
 // Campaign replays a scripted schedule synchronously, emitting one
-// Repair per event.
+// Repair per event. ErrAllFailed is non-fatal: the hold record is
+// emitted and the replay continues, so later recoveries resume repairs.
 func (c *Controller) Campaign(ctx context.Context, schedule sim.FaultSchedule, emit func(Repair) error) error {
 	if err := schedule.Validate(c.plat.NumProcs()); err != nil {
 		return err
@@ -339,7 +346,7 @@ func (c *Controller) Campaign(ctx context.Context, schedule sim.FaultSchedule, e
 			return fmt.Errorf("remap: campaign canceled: %w", context.Cause(ctx))
 		}
 		rep, err := c.Apply(ctx, ev)
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrAllFailed) {
 			return err
 		}
 		if emit != nil {
@@ -397,7 +404,12 @@ func (c *Controller) violation(met mapping.Metrics) *Violation {
 // sub-platform's size allow it.
 func (c *Controller) repairLocked(ctx context.Context, ev sim.FaultEvent, start time.Time) (Repair, error) {
 	if c.fs.Alive() == 0 {
-		return Repair{}, ErrAllFailed
+		// No valid mapping exists; hold the last installed one (graded
+		// Partial — it enrolls failed processors) until a recovery.
+		hold := c.unchanged(ev, "all processors failed (holding last mapping)", start)
+		hold.Certainty = core.Partial
+		c.grade = core.Partial
+		return hold, ErrAllFailed
 	}
 	if ctx == nil {
 		ctx = context.Background()

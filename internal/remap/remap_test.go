@@ -206,7 +206,12 @@ func FuzzCrashSchedule(f *testing.F) {
 			} else if kind == sim.FaultRecover && failed[proc] {
 				failed[proc], alive = false, alive+1
 			}
-			assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+			if alive > 0 {
+				// With every processor down the controller holds the last
+				// mapping (which necessarily enrolls failed processors), so
+				// the invariant only applies while someone survives.
+				assertRepairInvariant(t, inst.Pipeline, inst.Platform, rep, failed)
+			}
 		}
 	})
 }
@@ -482,5 +487,59 @@ func TestRunEmitErrorAborts(t *testing.T) {
 	sentinel := errors.New("consumer gone")
 	if err := c.Run(context.Background(), events, func(Repair) error { return sentinel }); !errors.Is(err, sentinel) {
 		t.Fatalf("got %v, want the emit error", err)
+	}
+}
+
+// TestCampaignHoldsThroughTotalFailure: a schedule that crashes every
+// processor and then recovers one must not abort the campaign — the
+// all-failed event yields a hold record (last mapping kept, graded
+// Partial) and the recovery resumes repairs with a valid mapping.
+func TestCampaignHoldsThroughTotalFailure(t *testing.T) {
+	p, pl := workload.Fig5()
+	m := pl.NumProcs()
+	pr := core.Problem{Pipeline: p, Platform: pl, Objective: core.MinimizeFailureProb}
+	start := solveStart(t, pr)
+	c, err := New(p, pl, start, Config{Objective: core.MinimizeFailureProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schedule sim.FaultSchedule
+	for u := 0; u < m; u++ {
+		schedule = append(schedule, sim.FaultEvent{Time: float64(u + 1), Proc: u, Kind: sim.FaultCrash})
+	}
+	schedule = append(schedule, sim.FaultEvent{Time: float64(m + 1), Proc: 0, Kind: sim.FaultRecover})
+	schedule.Renumber()
+
+	var reps []Repair
+	if err := c.Campaign(context.Background(), schedule, func(rep Repair) error {
+		reps = append(reps, rep)
+		return nil
+	}); err != nil {
+		t.Fatalf("campaign aborted: %v", err)
+	}
+	if len(reps) != m+1 {
+		t.Fatalf("emitted %d repairs for %d events", len(reps), m+1)
+	}
+	hold := reps[m-1]
+	if hold.Changed {
+		t.Error("all-failed event must not claim a re-mapping")
+	}
+	if hold.Certainty != core.Partial {
+		t.Errorf("hold record graded %v (%s), want Partial", hold.Certainty, hold.Method)
+	}
+	if hold.Mapping == nil {
+		t.Fatal("hold record must carry the held mapping")
+	}
+	if len(hold.Down) != m {
+		t.Errorf("hold record Down = %v, want all %d processors", hold.Down, m)
+	}
+	last := reps[m]
+	failed := make([]bool, m)
+	for u := 1; u < m; u++ {
+		failed[u] = true
+	}
+	assertRepairInvariant(t, p, pl, last, failed)
+	if !last.Changed {
+		t.Error("recovery after total failure must re-plan")
 	}
 }

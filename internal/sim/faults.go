@@ -128,8 +128,12 @@ func (c RandomFaultConfig) withDefaults(m int) RandomFaultConfig {
 // chosen alive processors, recoveries of uniformly chosen failed ones.
 // The schedule is a deterministic function of (m, cfg, the RNG stream), so
 // a fixed seed reproduces the campaign exactly. At least one processor is
-// always left alive (cfg.MaxDown ≤ m−1).
+// always left alive (cfg.MaxDown ≤ m−1); on a platform with fewer than two
+// processors no event can satisfy that invariant, so the schedule is empty.
 func RandomFaultSchedule(rng *rand.Rand, m int, cfg RandomFaultConfig) FaultSchedule {
+	if m < 2 {
+		return FaultSchedule{}
+	}
 	cfg = cfg.withDefaults(m)
 	failed := make([]bool, m)
 	down := 0
@@ -144,6 +148,11 @@ func RandomFaultSchedule(rng *rand.Rand, m int, cfg RandomFaultConfig) FaultSche
 		if down >= cfg.MaxDown {
 			crash = false
 		}
+		if !crash && down == 0 {
+			// Neither transition is drawable: a crash would breach the
+			// down cap and there is nobody to recover.
+			break
+		}
 		var pool []int
 		for u := 0; u < m; u++ {
 			if failed[u] == !crash {
@@ -151,7 +160,7 @@ func RandomFaultSchedule(rng *rand.Rand, m int, cfg RandomFaultConfig) FaultSche
 			}
 		}
 		if len(pool) == 0 {
-			continue
+			break
 		}
 		u := pool[rng.Intn(len(pool))]
 		kind := FaultRecover

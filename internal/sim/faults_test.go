@@ -59,6 +59,19 @@ func TestRandomFaultScheduleDeterministicAndValid(t *testing.T) {
 	}
 }
 
+// TestRandomFaultScheduleDegeneratePlatform: with fewer than two
+// processors no event can keep a survivor alive, so the generator must
+// return an empty schedule instead of looping forever (regression: it
+// used to spin when MaxDown collapsed to 0).
+func TestRandomFaultScheduleDegeneratePlatform(t *testing.T) {
+	for _, m := range []int{0, 1} {
+		s := RandomFaultSchedule(rand.New(rand.NewSource(1)), m, RandomFaultConfig{Events: 4})
+		if len(s) != 0 {
+			t.Errorf("m=%d: got %d events, want an empty schedule", m, len(s))
+		}
+	}
+}
+
 func TestFaultStateTracking(t *testing.T) {
 	fs := NewFaultState(4)
 	if fs.Down() != 0 || fs.Alive() != 4 {

@@ -54,6 +54,8 @@ type RemapSpec struct {
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 
 	// Session-level tuning (participates in the warm-session cache key).
+	// ExactBudget also gates the controller's per-event exact escalation
+	// (0 = the controller default; negative disables escalation).
 	Workers        int     `json:"workers,omitempty"`
 	ExactBudget    float64 `json:"exactBudget,omitempty"`
 	ForceHeuristic bool    `json:"forceHeuristic,omitempty"`
@@ -69,7 +71,9 @@ type RemapEvent struct {
 	// terminal record).
 	Event *repro.FaultEvent `json:"event,omitempty"`
 	// Mapping is the mapping installed after the event; it never assigns
-	// a failed processor.
+	// a failed processor, except on an all-processors-failed hold record
+	// (Method reports the hold), where the last mapping is kept until a
+	// recovery arrives.
 	Mapping *repro.Mapping `json:"mapping,omitempty"`
 	// Latency and FailureProb are the installed mapping's metrics.
 	Latency     float64 `json:"latency,omitempty"`
@@ -112,11 +116,27 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	// Create (and thereby validate) the session before touching the fault
+	// schedule: schedule generation must only ever see a platform that
+	// passed validation.
+	sess, _, err := s.session(SolveSpec{
+		Pipeline: spec.Pipeline, Platform: spec.Platform,
+		Workers: spec.Workers, ExactBudget: spec.ExactBudget,
+		ForceHeuristic: spec.ForceHeuristic, Seed: spec.Seed,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
 	m := spec.Platform.NumProcs()
 	schedule := spec.Events
 	if len(schedule) == 0 {
 		if spec.RandomEvents <= 0 {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "request needs \"events\" or a positive \"randomEvents\""})
+			return
+		}
+		if m < 2 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "\"randomEvents\" campaigns need a platform with at least 2 processors"})
 			return
 		}
 		seed := spec.Seed
@@ -127,15 +147,6 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := schedule.Validate(m); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid fault schedule: %v", err)})
-		return
-	}
-	sess, _, err := s.session(SolveSpec{
-		Pipeline: spec.Pipeline, Platform: spec.Platform,
-		Workers: spec.Workers, ExactBudget: spec.ExactBudget,
-		ForceHeuristic: spec.ForceHeuristic, Seed: spec.Seed,
-	})
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		return
 	}
 
@@ -187,6 +198,7 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 		MaxLatency:  spec.MaxLatency,
 		MaxFailProb: spec.MaxFailProb,
 		Deadline:    time.Duration(spec.RepairDeadlineMillis) * time.Millisecond,
+		ExactBudget: spec.ExactBudget,
 		Workers:     spec.Workers,
 	}
 	_, err = sess.RunReactive(ctx, start, schedule, cfg, func(rep repro.RemapResult) error {

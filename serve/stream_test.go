@@ -133,6 +133,20 @@ func TestRemapStreamBadRequests(t *testing.T) {
 	srv := httptest.NewServer(New(Config{}))
 	defer srv.Close()
 
+	// Regression: random campaigns on degenerate platforms used to reach
+	// the schedule generator before any validation and spin a handler
+	// goroutine forever. They must be rejected up front (and the requests
+	// below must all return promptly).
+	p, _ := workload.Fig5()
+	pj, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneProc := []byte(fmt.Sprintf(`{"pipeline": %s, "platform": {"speed":[1],"failProb":[0.1],"b":[[0]],"bIn":[1],"bOut":[1]}, "randomEvents": 4}`, pj))
+	// An invalid platform never reaches the handler: Platform.UnmarshalJSON
+	// validates at decode time, so this 400s in the decoder.
+	emptyPlat := []byte(fmt.Sprintf(`{"pipeline": %s, "platform": {"speed":[]}, "randomEvents": 4}`, pj))
+
 	cases := []struct {
 		name string
 		body []byte
@@ -142,6 +156,8 @@ func TestRemapStreamBadRequests(t *testing.T) {
 		{"no schedule", fig5RemapSpec(t, ""), http.StatusBadRequest},
 		{"bad processor id", fig5RemapSpec(t, `, "events": [{"proc": 99, "kind": 0}]`), http.StatusBadRequest},
 		{"missing instance", []byte(`{"randomEvents": 3}`), http.StatusBadRequest},
+		{"random campaign on 1 processor", oneProc, http.StatusBadRequest},
+		{"random campaign on invalid platform", emptyPlat, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		status, _ := postStream(t, srv, tc.body)
