@@ -25,13 +25,24 @@
 //
 // Flags:
 //
-//	-addr :8080       listen address
-//	-cache 128        warm-session LRU capacity
-//	-deadline 30s     default per-request deadline (when the request has none)
-//	-maxbatch 64      largest accepted batch
-//	-parallel 0       concurrent solves per batch (0 = GOMAXPROCS)
-//	-maxbody 8388608  largest accepted request body in bytes (413 past it)
-//	-drain 10s        graceful-shutdown drain deadline on SIGINT/SIGTERM
+//	-addr :8080           listen address
+//	-cache 128            warm-session LRU capacity
+//	-deadline 30s         default per-request deadline (when the request has none)
+//	-maxbatch 64          largest accepted batch
+//	-parallel 0           concurrent solves per batch (0 = GOMAXPROCS)
+//	-maxbody 8388608      largest accepted request body in bytes (413 past it)
+//	-maxconcurrent 0      POST requests served at once (0 = 4 × GOMAXPROCS);
+//	                      the overflow queues, the rest is shed with 429/503
+//	-maxqueue 0           queued POST requests past the concurrency bound
+//	                      (0 = 4 × maxconcurrent)
+//	-readheadertimeout 10s  slowloris guard: time to receive request headers
+//	-readtimeout 1m       time to receive a full request (headers + body)
+//	-idletimeout 2m       keep-alive connections idle past this are closed
+//	-drain 10s            graceful-shutdown drain deadline on SIGINT/SIGTERM
+//
+// No WriteTimeout is set on purpose: it would sever long re-mapping
+// streams mid-flight; streams are already bounded by their own
+// deadlineMillis mapped to context cancellation.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests (including open re-mapping streams) for up to the
@@ -59,6 +70,11 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 64, "largest accepted batch")
 	parallel := flag.Int("parallel", 0, "concurrent solves per batch (0 = GOMAXPROCS)")
 	maxBody := flag.Int64("maxbody", 8<<20, "largest accepted request body in bytes")
+	maxConcurrent := flag.Int("maxconcurrent", 0, "POST requests served at once (0 = 4 x GOMAXPROCS)")
+	maxQueue := flag.Int("maxqueue", 0, "queued POST requests past the concurrency bound (0 = 4 x maxconcurrent)")
+	readHeaderTimeout := flag.Duration("readheadertimeout", 10*time.Second, "time allowed to receive request headers (slowloris guard)")
+	readTimeout := flag.Duration("readtimeout", time.Minute, "time allowed to receive a full request, headers and body")
+	idleTimeout := flag.Duration("idletimeout", 2*time.Minute, "keep-alive connections idle past this are closed")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
@@ -68,11 +84,17 @@ func main() {
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *parallel,
 		MaxBodyBytes:     *maxBody,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
 	})
+	// No WriteTimeout: it would cut long-lived re-mapping streams; each
+	// stream already bounds itself via its deadline context.
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's coarse state.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every call; consecutive failures open it.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every call until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe calls; enough
+	// successes close the breaker, any failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets sane defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds the probe calls in flight while half-open
+	// (default 1).
+	HalfOpenProbes int
+	// SuccessesToClose is the probe-success count that closes a
+	// half-open breaker (default 2).
+	SuccessesToClose int
+	// Clock injects time (default: the system clock).
+	Clock Clock
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 2
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
+	}
+	return c
+}
+
+// Breaker is a generation-counted circuit breaker. Callers ask Allow for
+// a token, run the guarded work, and Record the outcome against the
+// token; outcomes recorded against a generation the breaker has since
+// left are dropped, so a slow call that straddles a state transition
+// cannot corrupt the new state's counters. Cancel releases an unused
+// token (for callers that took one but never ran the guarded work, e.g.
+// a coalesced duplicate).
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	gen      uint64
+	fails    int // consecutive failures while closed
+	succ     int // probe successes while half-open
+	inflight int // probes in flight while half-open
+	openedAt time.Time
+	trips    int64
+}
+
+// NewBreaker builds a closed Breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed, and under which generation
+// its outcome must be recorded. An open breaker whose cooldown has
+// elapsed transitions to half-open here, admitting the caller as a
+// probe.
+func (b *Breaker) Allow() (gen uint64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return b.gen, true
+	case BreakerOpen:
+		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return b.gen, false
+		}
+		b.transition(BreakerHalfOpen)
+		b.inflight = 1
+		return b.gen, true
+	default: // half-open
+		if b.inflight >= b.cfg.HalfOpenProbes {
+			return b.gen, false
+		}
+		b.inflight++
+		return b.gen, true
+	}
+}
+
+// Record reports the outcome of a call admitted under gen. Stale
+// generations are ignored.
+func (b *Breaker) Record(gen uint64, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen {
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.inflight--
+		if !success {
+			b.trip()
+			return
+		}
+		b.succ++
+		if b.succ >= b.cfg.SuccessesToClose {
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// Cancel releases a token taken with Allow whose guarded work never ran
+// (it frees the half-open probe slot). Stale generations are ignored.
+func (b *Breaker) Cancel(gen uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen || b.state != BreakerHalfOpen {
+		return
+	}
+	b.inflight--
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.transition(BreakerOpen)
+	b.openedAt = b.cfg.Clock.Now()
+	b.trips++
+}
+
+// transition switches state, bumps the generation, and resets the
+// per-state counters; callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	b.state = to
+	b.gen++
+	b.fails = 0
+	b.succ = 0
+	b.inflight = 0
+}
+
+// State reports the current state (an elapsed cooldown shows as open
+// until the next Allow performs the half-open transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed/half-open → open transitions since construction.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,207 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ShedReason says why the limiter refused a request.
+type ShedReason int
+
+const (
+	// ShedQueueFull: the wait queue is at capacity — the caller should
+	// back off and retry (maps to 429 at the HTTP layer).
+	ShedQueueFull ShedReason = iota
+	// ShedDeadline: the caller's deadline cannot be met — either the
+	// estimated queue wait already exceeds it, or it expired while
+	// queued (maps to 503 at the HTTP layer).
+	ShedDeadline
+)
+
+func (r ShedReason) String() string {
+	if r == ShedDeadline {
+		return "deadline unmeetable"
+	}
+	return "queue full"
+}
+
+// ShedError is the structured admission refusal: the reason and a
+// load-derived retry-after hint.
+type ShedError struct {
+	Reason     ShedReason
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admission shed (%s): retry after %s", e.Reason, e.RetryAfter)
+}
+
+// AsShed extracts a ShedError from err (nil when err carries none).
+func AsShed(err error) *ShedError {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		return shed
+	}
+	return nil
+}
+
+// LimiterConfig tunes a Limiter.
+type LimiterConfig struct {
+	// MaxConcurrent bounds the requests holding a slot at once
+	// (default 16).
+	MaxConcurrent int
+	// MaxWaiting bounds the requests queued for a slot; one more is
+	// shed immediately (default 4 × MaxConcurrent).
+	MaxWaiting int
+	// Clock injects time (default: the system clock).
+	Clock Clock
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 16
+	}
+	if c.MaxWaiting <= 0 {
+		c.MaxWaiting = 4 * c.MaxConcurrent
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
+	}
+	return c
+}
+
+// Limiter is a deadline-aware admission controller: MaxConcurrent slots,
+// a wait queue of at most MaxWaiting, and upfront shedding of requests
+// whose context deadline the estimated queue wait would blow. The wait
+// estimate is an exponential moving average of observed slot-hold times
+// scaled by the queue position.
+type Limiter struct {
+	cfg   LimiterConfig
+	slots chan struct{}
+
+	waiting atomic.Int64
+	// ewmaNanos tracks the service-time EWMA (alpha 1/8); 0 = no data
+	// yet, in which case the deadline check is skipped and retry-after
+	// hints fall back to a fixed 50ms.
+	ewmaNanos atomic.Int64
+
+	admitted  atomic.Int64
+	shedQueue atomic.Int64
+	shedDead  atomic.Int64
+}
+
+// NewLimiter builds a Limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, slots: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+const fallbackRetryAfter = 50 * time.Millisecond
+
+// estimatedWait projects how long the queuePos-th waiter will queue:
+// the service-time EWMA scaled by how many service completions must
+// happen before a slot reaches it.
+func (l *Limiter) estimatedWait(queuePos int64) time.Duration {
+	ewma := time.Duration(l.ewmaNanos.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	rounds := (queuePos + int64(l.cfg.MaxConcurrent) - 1) / int64(l.cfg.MaxConcurrent)
+	return ewma * time.Duration(rounds)
+}
+
+// retryAfter turns the current load into the hint shipped with a shed.
+func (l *Limiter) retryAfter(queuePos int64) time.Duration {
+	if est := l.estimatedWait(queuePos); est > 0 {
+		return est
+	}
+	return fallbackRetryAfter
+}
+
+// Acquire admits the caller, blocking in the bounded queue while the
+// concurrency limit is saturated. It returns a release function that
+// MUST be called exactly once when the admitted work finishes (it frees
+// the slot and feeds the service-time estimate). A refusal returns a
+// *ShedError: queue at capacity, estimated wait past ctx's deadline, or
+// ctx done while queued.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queuing.
+	select {
+	case l.slots <- struct{}{}:
+		return l.admit(), nil
+	default:
+	}
+
+	pos := l.waiting.Add(1)
+	if pos > int64(l.cfg.MaxWaiting) {
+		l.waiting.Add(-1)
+		l.shedQueue.Add(1)
+		return nil, &ShedError{Reason: ShedQueueFull, RetryAfter: l.retryAfter(pos)}
+	}
+	// Deadline-aware upfront shed: when past service times predict the
+	// queue wait alone outlives the caller's deadline, fail now instead
+	// of occupying a queue slot with doomed work.
+	if deadline, ok := ctx.Deadline(); ok {
+		if est := l.estimatedWait(pos); est > 0 && l.cfg.Clock.Now().Add(est).After(deadline) {
+			l.waiting.Add(-1)
+			l.shedDead.Add(1)
+			return nil, &ShedError{Reason: ShedDeadline, RetryAfter: l.retryAfter(pos)}
+		}
+	}
+	select {
+	case l.slots <- struct{}{}:
+		l.waiting.Add(-1)
+		return l.admit(), nil
+	case <-ctx.Done():
+		l.waiting.Add(-1)
+		l.shedDead.Add(1)
+		return nil, &ShedError{Reason: ShedDeadline, RetryAfter: l.retryAfter(pos)}
+	}
+}
+
+// admit records the admission and returns the release closure.
+func (l *Limiter) admit() func() {
+	l.admitted.Add(1)
+	start := l.cfg.Clock.Now()
+	var done atomic.Bool
+	return func() {
+		if !done.CompareAndSwap(false, true) {
+			return
+		}
+		held := l.cfg.Clock.Now().Sub(start)
+		for {
+			old := l.ewmaNanos.Load()
+			next := int64(held)
+			if old > 0 {
+				next = old + (int64(held)-old)/8
+			}
+			if l.ewmaNanos.CompareAndSwap(old, next) {
+				break
+			}
+		}
+		<-l.slots
+	}
+}
+
+// LimiterStats is a snapshot of the limiter's counters.
+type LimiterStats struct {
+	Admitted     int64 // requests that got a slot
+	ShedQueue    int64 // shed: queue at capacity
+	ShedDeadline int64 // shed: deadline unmeetable or expired queued
+	InUse        int   // slots currently held
+	Waiting      int   // requests currently queued
+}
+
+// Stats snapshots the counters.
+func (l *Limiter) Stats() LimiterStats {
+	return LimiterStats{
+		Admitted:     l.admitted.Load(),
+		ShedQueue:    l.shedQueue.Load(),
+		ShedDeadline: l.shedDead.Load(),
+		InUse:        len(l.slots),
+		Waiting:      int(l.waiting.Load()),
+	}
+}

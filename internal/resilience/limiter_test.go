@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToConcurrency(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 2, MaxWaiting: 1})
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both slots held; a third caller with an already-expired context is
+	// shed from the queue instead of blocking.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); AsShed(err) == nil {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	r1()
+	r2()
+	r2() // double release must be a no-op
+	if st := l.Stats(); st.InUse != 0 || st.Admitted != 2 || st.ShedDeadline != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Slots free again.
+	r3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+func TestLimiterQueueOverflowSheds(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxWaiting: 1})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- r
+	}()
+	// Wait until the waiter is queued.
+	for i := 0; l.Stats().Waiting == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Stats().Waiting != 1 {
+		t.Fatalf("waiting = %d, want 1", l.Stats().Waiting)
+	}
+	// The second waiter overflows the queue: immediate structured shed.
+	_, err = l.Acquire(context.Background())
+	shed := AsShed(err)
+	if shed == nil || shed.Reason != ShedQueueFull {
+		t.Fatalf("want queue-full shed, got %v", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("shed must carry a positive retry-after, got %v", shed.RetryAfter)
+	}
+	release()
+	r := <-acquired
+	r()
+	if st := l.Stats(); st.ShedQueue != 1 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// deadlineOnlyCtx reports a deadline on the fake-clock timeline without
+// a firing Done channel, so the deadline-aware shed path is exercised
+// deterministically against the limiter's injected clock.
+type deadlineOnlyCtx struct {
+	context.Context
+	deadline time.Time
+}
+
+func (c deadlineOnlyCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func TestLimiterDeadlineAwareUpfrontShed(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxWaiting: 4, Clock: clk})
+
+	// Teach the EWMA a 1s service time.
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	release()
+	if got := time.Duration(l.ewmaNanos.Load()); got != time.Second {
+		t.Fatalf("ewma = %v, want 1s after the first sample", got)
+	}
+
+	// Saturate the slot, then ask with a 10ms (fake-clock) deadline: the
+	// predicted 1s queue wait cannot meet it — shed upfront, without ever
+	// reaching the blocking select (the context's Done never fires).
+	release, err = l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := deadlineOnlyCtx{Context: context.Background(), deadline: clk.Now().Add(10 * time.Millisecond)}
+	_, err = l.Acquire(ctx)
+	shed := AsShed(err)
+	if shed == nil || shed.Reason != ShedDeadline {
+		t.Fatalf("want deadline shed, got %v", err)
+	}
+	if shed.RetryAfter != time.Second {
+		t.Fatalf("retry-after = %v, want the 1s estimated wait", shed.RetryAfter)
+	}
+	// A generous (fake-clock) deadline still queues normally.
+	ctx2 := deadlineOnlyCtx{Context: context.Background(), deadline: clk.Now().Add(time.Hour)}
+	done := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(ctx2)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	for i := 0; l.Stats().Waiting == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("generous deadline should be admitted: %v", err)
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 4, MaxWaiting: 8})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			release, err := l.Acquire(ctx)
+			if err != nil {
+				if AsShed(err) == nil {
+					t.Errorf("non-structured refusal: %v", err)
+				}
+				return
+			}
+			mu.Lock()
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inUse--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxInUse > 4 {
+		t.Fatalf("observed %d concurrent holders, cap is 4", maxInUse)
+	}
+	st := l.Stats()
+	if st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("limiter not drained: %+v", st)
+	}
+	if st.Admitted+st.ShedQueue+st.ShedDeadline != 64 {
+		t.Fatalf("counters do not add up to 64: %+v", st)
+	}
+}
+
+func TestAsShedNonShed(t *testing.T) {
+	if AsShed(errors.New("plain")) != nil {
+		t.Fatal("plain error misread as shed")
+	}
+	if AsShed(nil) != nil {
+		t.Fatal("nil error misread as shed")
+	}
+}

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy shapes the retry loop: exponential backoff from BaseDelay
+// doubling per attempt, capped at MaxDelay, with ±Jitter relative noise.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries, first included (default 3).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5s).
+	MaxDelay time.Duration
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter]
+	// (default 0.2; 0 < Jitter ≤ 1). Negative disables jitter.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Backoff computes the delay before attempt attempt+1 (attempt counts
+// completed tries, so the first retry passes 1): BaseDelay·2^(attempt-1)
+// capped at MaxDelay, jittered by rng. A nil rng disables jitter, making
+// the schedule fully deterministic.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if rng != nil && p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of retrying;
+// errors.Is/As see through the wrapper.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Sleeper abstracts the inter-attempt wait; the default honors ctx. Tests
+// inject one to run the loop instantaneously while recording the
+// schedule.
+type Sleeper func(ctx context.Context, d time.Duration) error
+
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// Retry runs fn up to p.MaxAttempts times, sleeping p.Backoff between
+// failures. It stops early on success, on a Permanent error, or when ctx
+// is done (the context error then wraps the last attempt's error). rng
+// drives the jitter (nil = none).
+func Retry(ctx context.Context, p RetryPolicy, rng *rand.Rand, fn func(ctx context.Context) error) error {
+	return RetryWithSleeper(ctx, p, rng, defaultSleep, fn)
+}
+
+// RetryWithSleeper is Retry with the inter-attempt wait injected.
+func RetryWithSleeper(ctx context.Context, p RetryPolicy, rng *rand.Rand, sleep Sleeper, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return retryAbort(context.Cause(ctx), last)
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		last = err
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", p.MaxAttempts, err)
+		}
+		if serr := sleep(ctx, p.Backoff(attempt, rng)); serr != nil {
+			return retryAbort(serr, last)
+		}
+	}
+}
+
+// retryAbort folds a cancellation into the last attempt error (if any);
+// both stay visible to errors.Is/As.
+func retryAbort(cause, last error) error {
+	if last == nil {
+		return cause
+	}
+	return fmt.Errorf("retry canceled: %w (last attempt error: %w)", cause, last)
+}

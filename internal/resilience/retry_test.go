@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// recordedSleep returns a Sleeper that records the requested delays and
+// never actually sleeps.
+func recordedSleep(delays *[]time.Duration) Sleeper {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBoundedAndSeeded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := p.Backoff(attempt, nil) // nil rng: no jitter
+		ja := p.Backoff(attempt, a)
+		jb := p.Backoff(attempt, b)
+		if ja != jb {
+			t.Fatalf("attempt %d: same seed produced %v and %v", attempt, ja, jb)
+		}
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if ja < lo || ja > hi {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", attempt, ja, lo, hi)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var delays []time.Duration
+	tries := 0
+	err := RetryWithSleeper(context.Background(), RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: -1},
+		nil, recordedSleep(&delays), func(context.Context) error {
+			tries++
+			if tries < 3 {
+				return errors.New("flaky")
+			}
+			return nil
+		})
+	if err != nil || tries != 3 {
+		t.Fatalf("err = %v after %d tries", err, tries)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	boom := errors.New("always")
+	err := RetryWithSleeper(context.Background(), RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1},
+		nil, recordedSleep(&delays), func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times for 3 attempts, want 2", len(delays))
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	tries := 0
+	boom := errors.New("fatal")
+	err := RetryWithSleeper(context.Background(), RetryPolicy{MaxAttempts: 5},
+		nil, recordedSleep(&[]time.Duration{}), func(context.Context) error {
+			tries++
+			return Permanent(boom)
+		})
+	if !errors.Is(err, boom) || tries != 1 {
+		t.Fatalf("err = %v after %d tries, want boom after 1", err, tries)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+}
+
+func TestRetryCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tries := 0
+	sleep := func(context.Context, time.Duration) error {
+		cancel() // the context dies during the backoff sleep
+		return context.Cause(ctx)
+	}
+	err := RetryWithSleeper(ctx, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		nil, sleep, func(context.Context) error { tries++; return errors.New("flaky") })
+	if !errors.Is(err, context.Canceled) || tries != 1 {
+		t.Fatalf("err = %v after %d tries, want context.Canceled after 1", err, tries)
+	}
+	// Pre-canceled: no attempt at all.
+	tries = 0
+	err = Retry(ctx, RetryPolicy{}, nil, func(context.Context) error { tries++; return nil })
+	if !errors.Is(err, context.Canceled) || tries != 0 {
+		t.Fatalf("pre-canceled: err = %v, tries = %d", err, tries)
+	}
+}
+
+func TestRetryRealSleeperHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Retry(ctx, RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second, Jitter: -1},
+		nil, func(context.Context) error { return errors.New("flaky") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry ignored the context for %v", elapsed)
+	}
+}

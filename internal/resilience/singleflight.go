@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group coalesces concurrent calls by key: while a call for a key is in
+// flight, later Do calls for the same key wait for its result instead of
+// repeating the work. The zero value is ready to use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	dups int // waiters coalesced onto this call (guarded by Group.mu)
+}
+
+// Inflight reports how many callers currently share the in-flight call
+// for key: 0 when none, 1 for a lone leader, 1+n with n waiting
+// duplicates. Intended for metrics and for tests that need to observe a
+// coalescing pile-up deterministically.
+func (g *Group[V]) Inflight(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return 0
+	}
+	return 1 + c.dups
+}
+
+// Do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call's result; shared reports which case
+// happened (false for the caller that ran fn). The leader runs fn to
+// completion regardless of ctx — ctx only bounds how long a *waiting*
+// duplicate blocks: when it fires first, Do returns ctx's error and the
+// zero V while the leader keeps going for the remaining waiters.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return v, true, context.Cause(ctx)
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// A panicking fn must not strand the waiters: release them with an
+	// in-band error, then let the panic continue up the leader's stack.
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = fmt.Errorf("resilience: singleflight leader panicked for key %q", key)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, false, c.err
+}

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForDups blocks until the in-flight call for key has coalesced want
+// duplicates (test-only synchronization through the package internals).
+func waitForDups[V any](t *testing.T, g *Group[V], key string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		g.mu.Lock()
+		c := g.calls[key]
+		n := 0
+		if c != nil {
+			n = c.dups
+		}
+		g.mu.Unlock()
+		if n >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d duplicates on %q", want, key)
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	shareds := make([]bool, waiters)
+
+	// Leader blocks in fn until every duplicate has piled up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-gate
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], shareds[0] = v, shared
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}()
+	}
+	// Release the leader only once every duplicate is registered, so none
+	// of them can race past the leader's cleanup and start a fresh call.
+	waitForDups(t, &g, "k", waiters-1)
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, v)
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != waiters-1 {
+		t.Fatalf("%d callers report shared, want %d", sharedCount, waiters-1)
+	}
+}
+
+func TestSingleflightSequentialCallsRunIndependently(t *testing.T) {
+	var g Group[int]
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			n++
+			return n, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+}
+
+func TestSingleflightWaiterCancellation(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-gate
+			return 7, nil
+		})
+		if v != 7 || err != nil {
+			t.Errorf("leader got v=%d err=%v", v, err)
+		}
+	}()
+	<-started
+
+	// A duplicate whose context dies while waiting gets the context error;
+	// the leader is unaffected.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, shared, err := g.Do(ctx, "k", func() (int, error) { return 0, nil })
+		if !shared {
+			err = errors.New("canceled duplicate must report shared")
+		}
+		errc <- err
+	}()
+	waitForDups(t, &g, "k", 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	close(gate)
+	<-leaderDone
+}
+
+func TestSingleflightErrorsShared(t *testing.T) {
+	var g Group[string]
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func() (string, error) { return "", boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSingleflightLeaderPanicReleasesWaiters(t *testing.T) {
+	var g Group[int]
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		_, _, _ = g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-gate
+			panic("leader exploded")
+		})
+	}()
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (int, error) { return 0, nil })
+		errc <- err
+	}()
+	waitForDups(t, &g, "k", 1)
+	close(gate)
+	if rec := <-panicked; rec == nil {
+		t.Fatal("leader panic swallowed")
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("waiter of a panicked leader must get an error")
+	}
+	// The key is free again: a fresh call runs.
+	v, shared, err := g.Do(context.Background(), "k", func() (int, error) { return 9, nil })
+	if v != 9 || shared || err != nil {
+		t.Fatalf("post-panic call: v=%d shared=%v err=%v", v, shared, err)
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// admit is the overload-admission middleware wrapped around every POST
+// path. It buffers the (size-capped) body, peeks the request's
+// deadlineMillis, and asks the limiter for a slot under that deadline:
+// the limiter bounds concurrent requests, queues a bounded overflow, and
+// sheds what cannot be served in time. Sheds are answered before any
+// solver work happens, with a structured body and a Retry-After header:
+//
+//	429 {"error": ..., "retryAfterMillis": ...}  — queue at capacity,
+//	    back off and retry
+//	503 {"error": ..., "retryAfterMillis": ...}  — the request's own
+//	    deadline cannot be met under current load (predicted queue wait
+//	    exceeds it, or it expired while queued)
+//
+// Admitted requests hold their slot until the handler returns (streams
+// for their whole life), so the slot count is a true concurrency bound.
+func (s *Service) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+					Error:        fmt.Sprintf("request body exceeds the %d-byte cap", tooBig.Limit),
+					MaxBodyBytes: tooBig.Limit,
+				})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading request body: %v", err)})
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+
+		// Admission deadline: the request's own deadlineMillis when it
+		// carries one, else the service default. Malformed JSON falls
+		// through with the default — the handler's decode will 400 it.
+		var peek struct {
+			DeadlineMillis int64 `json:"deadlineMillis"`
+		}
+		_ = json.Unmarshal(body, &peek)
+		deadline := s.cfg.DefaultDeadline
+		if peek.DeadlineMillis > 0 {
+			deadline = time.Duration(peek.DeadlineMillis) * time.Millisecond
+		}
+		actx := r.Context()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(actx, deadline)
+			defer cancel()
+		}
+
+		release, err := s.limiter.Acquire(actx)
+		if err != nil {
+			s.writeShed(w, err)
+			return
+		}
+		defer release()
+		next(w, r)
+	}
+}
+
+// writeShed maps a limiter refusal to its HTTP shape and counts it.
+func (s *Service) writeShed(w http.ResponseWriter, err error) {
+	s.shed.Add(1)
+	shed := resilience.AsShed(err)
+	if shed == nil { // defensive: the limiter only refuses with ShedError
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	status := http.StatusTooManyRequests
+	if shed.Reason == resilience.ShedDeadline {
+		status = http.StatusServiceUnavailable
+	}
+	retryMillis := shed.RetryAfter.Milliseconds()
+	if retryMillis < 1 {
+		retryMillis = 1
+	}
+	secs := (retryMillis + 999) / 1000
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, errorBody{
+		Error:            fmt.Sprintf("overloaded: %s", shed.Reason),
+		RetryAfterMillis: retryMillis,
+	})
+}

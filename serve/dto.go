@@ -18,6 +18,15 @@
 // every record carries either a repair or an error, never a dropped
 // status line.
 //
+// Overload resilience: every POST path runs behind an admission limiter
+// (bounded concurrency, bounded wait queue, deadline-aware shedding with
+// structured 429/503 bodies and Retry-After headers), identical in-flight
+// solves are coalesced onto one underlying computation (singleflight on
+// the instance hash), and exact-search escalation is guarded by a circuit
+// breaker that degrades overloaded solves to the heuristic route. All of
+// it is visible in /v1/stats (shed, coalesced, solves, breakerState).
+// See docs/api.md for the overload contract and a client retry recipe.
+//
 // The wire format reuses the library's canonical JSON encodings of
 // Pipeline, Platform and Mapping, so a pipemap problem document is a
 // valid SolveSpec.
@@ -81,6 +90,13 @@ type SolveResult struct {
 	Partial bool `json:"partial,omitempty"`
 	// CacheHit is true when the request was served by a warm session.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Coalesced is true when this answer was shared from an identical
+	// concurrent solve rather than computed independently.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded is true when the circuit breaker forced the heuristic
+	// route because exact escalation recently blew its budget; retry
+	// later for a potentially exact answer.
+	Degraded bool `json:"degraded,omitempty"`
 	// Error carries the solver error (e.g. infeasibility) when no
 	// mapping could be produced; the HTTP status is still 200 for
 	// well-formed requests.
@@ -108,4 +124,11 @@ type Stats struct {
 	CacheSize    int   `json:"cacheSize"`    // sessions currently warm
 	CacheEvicted int64 `json:"cacheEvicted"` // sessions evicted by the LRU
 	Panics       int64 `json:"panics"`       // handler panics recovered by the middleware
+
+	// Overload-resilience counters.
+	Shed         int64  `json:"shed"`         // requests refused by admission control (429/503)
+	Coalesced    int64  `json:"coalesced"`    // solves answered by sharing an identical in-flight solve
+	Solves       int64  `json:"solves"`       // underlying solver invocations (requests - coalesced - errors)
+	BreakerState string `json:"breakerState"` // exact-escalation breaker: "closed", "open" or "half-open"
+	BreakerTrips int64  `json:"breakerTrips"` // times the breaker tripped open
 }

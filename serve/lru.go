@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"repro"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 )
 
 // sessionKey derives the warm-session cache key: a SHA-256 over the
@@ -33,7 +35,10 @@ func sessionKey(p *pipeline.Pipeline, pl *platform.Platform, workers int, budget
 }
 
 // sessionCache is a mutex-guarded LRU of warm sessions. Hits move the
-// entry to the front; inserts past capacity evict the back.
+// entry to the front; inserts past capacity evict the back. Builds run
+// OUTSIDE the lock — a slow session construction must not serialize
+// unrelated cache hits — with concurrent misses for the same key
+// coalesced onto one build by a per-key singleflight.
 type sessionCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -42,6 +47,8 @@ type sessionCache struct {
 	hits    int64
 	misses  int64
 	evicted int64
+
+	flight resilience.Group[*repro.Session]
 }
 
 type cacheEntry struct {
@@ -61,22 +68,56 @@ func newSessionCache(capacity int) *sessionCache {
 }
 
 // getOrCreate returns the warm session for key, building (and inserting)
-// it with build on a miss. The build runs under the cache lock — session
-// construction is O(n+m), far below a solve — which also deduplicates
-// concurrent misses for the same key. hit reports whether the session was
-// already warm.
+// it with build on a miss. hit reports whether the session was already
+// warm. Every call counts exactly one hit or one miss, so
+// hits + misses == lookups holds at all times.
 func (c *sessionCache) getOrCreate(key string, build func() (*repro.Session, error)) (sess *repro.Session, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		sess = el.Value.(*cacheEntry).sess
+		c.mu.Unlock()
+		return sess, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	sess, _, err = c.flight.Do(context.Background(), key, func() (*repro.Session, error) {
+		// Re-check under the lock: a previous leader may have finished
+		// (and left the flight group) between our miss and this call.
+		if s := c.peek(key); s != nil {
+			return s, nil
+		}
+		s, err := build()
+		if err != nil {
+			return nil, err
+		}
+		c.insert(key, s)
+		return s, nil
+	})
+	return sess, false, err
+}
+
+// peek returns the cached session for key without counting a lookup
+// (refreshing its LRU position), or nil.
+func (c *sessionCache) peek(key string) *repro.Session {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).sess, true, nil
+		return el.Value.(*cacheEntry).sess
 	}
-	c.misses++
-	sess, err = build()
-	if err != nil {
-		return nil, false, err
+	return nil
+}
+
+// insert adds a freshly built session and evicts past capacity; a racing
+// insert of the same key keeps the existing entry.
+func (c *sessionCache) insert(key string, sess *repro.Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sess: sess})
 	for c.ll.Len() > c.cap {
@@ -85,7 +126,6 @@ func (c *sessionCache) getOrCreate(key string, build func() (*repro.Session, err
 		delete(c.items, back.Value.(*cacheEntry).key)
 		c.evicted++
 	}
-	return sess, false, nil
 }
 
 // stats snapshots the cache counters.

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestSessionCacheConcurrentHammer hammers getOrCreate from many
+// goroutines (run under -race in CI) and asserts the cache invariants:
+// every lookup counts exactly one hit or miss, the size never exceeds
+// the capacity, and — with capacity >= distinct keys — each key is built
+// exactly once no matter how many misses pile up concurrently.
+func TestSessionCacheConcurrentHammer(t *testing.T) {
+	const (
+		keys       = 4
+		goroutines = 16
+		iters      = 200
+	)
+	cache := newSessionCache(8)
+	var builds [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % keys
+				sess, _, err := cache.getOrCreate(fmt.Sprintf("key-%d", k), func() (*repro.Session, error) {
+					builds[k].Add(1)
+					// Widen the window in which concurrent misses for the
+					// same key race to build.
+					time.Sleep(time.Millisecond)
+					return &repro.Session{}, nil
+				})
+				if err != nil {
+					t.Errorf("getOrCreate: %v", err)
+					return
+				}
+				if sess == nil {
+					t.Error("getOrCreate returned a nil session")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses, evicted, size := cache.stats()
+	if total := hits + misses; total != goroutines*iters {
+		t.Errorf("hits+misses = %d, want %d (every lookup counts exactly once)", total, goroutines*iters)
+	}
+	if size > 8 {
+		t.Errorf("size = %d exceeds capacity 8", size)
+	}
+	if evicted != 0 {
+		t.Errorf("evicted = %d, want 0 with capacity >= keys", evicted)
+	}
+	for k := range builds {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times, want exactly 1 (concurrent misses must coalesce)", k, n)
+		}
+	}
+}
+
+// TestSessionCacheEvictionUnderPressure keeps the capacity below the key
+// count: the size bound and the lookup accounting must hold even while
+// entries churn, and every key must have been built at least once.
+func TestSessionCacheEvictionUnderPressure(t *testing.T) {
+	const (
+		keys       = 6
+		capacity   = 2
+		goroutines = 8
+		iters      = 100
+	)
+	cache := newSessionCache(capacity)
+	var builds [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g*7 + i) % keys
+				_, _, err := cache.getOrCreate(fmt.Sprintf("key-%d", k), func() (*repro.Session, error) {
+					builds[k].Add(1)
+					return &repro.Session{}, nil
+				})
+				if err != nil {
+					t.Errorf("getOrCreate: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses, evicted, size := cache.stats()
+	if total := hits + misses; total != goroutines*iters {
+		t.Errorf("hits+misses = %d, want %d", total, goroutines*iters)
+	}
+	if size > capacity {
+		t.Errorf("size = %d exceeds capacity %d", size, capacity)
+	}
+	if evicted == 0 {
+		t.Error("expected evictions with capacity < keys")
+	}
+	for k := range builds {
+		if builds[k].Load() == 0 {
+			t.Errorf("key %d never built", k)
+		}
+	}
+}

@@ -147,19 +147,18 @@ func TestSessionCacheReuseAcrossRequests(t *testing.T) {
 	}
 }
 
-func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
-	srv := httptest.NewServer(New(Config{}))
-	defer srv.Close()
-
-	// A fully heterogeneous instance big enough that neither the exact
-	// enumeration nor the greedy/annealing fallback can finish within the
-	// deadline (even allowing for coarse timer granularity): the solver
-	// must return a best-effort mapping marked partial instead of
-	// blocking. The latency bound below is binding (full replication
-	// busts it), so greedy grows the mapping over many improvement
-	// rounds — the delta-evaluation rounds are fast enough that an
-	// unconstrained 40×40 instance now completes before a 1ms timer can
-	// even fire.
+// hardInstanceDoc renders a fully heterogeneous 100×150 instance as a
+// solve request with the given deadline. The instance is big enough that
+// neither the exact enumeration nor the greedy/annealing fallback can
+// finish within a 1ms deadline (even allowing for coarse timer
+// granularity), so the solver must return a best-effort mapping marked
+// partial instead of blocking. The latency bound is binding (full
+// replication busts it), so greedy grows the mapping over many
+// improvement rounds — the delta-evaluation rounds are fast enough that
+// an unconstrained 40×40 instance now completes before a 1ms timer can
+// even fire.
+func hardInstanceDoc(t *testing.T, deadlineMillis int64) []byte {
+	t.Helper()
 	n, m := 100, 150
 	w := make([]float64, n)
 	delta := make([]float64, n+1)
@@ -191,12 +190,19 @@ func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
 		"platform":       map[string]any{"speed": speed, "failProb": fp, "b": b, "bIn": bIn, "bOut": bOut},
 		"objective":      "minFailureProb",
 		"maxLatency":     100,
-		"deadlineMillis": 1,
+		"deadlineMillis": deadlineMillis,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := postJSON(t, srv, "/v1/solve", doc)
+	return doc
+}
+
+func TestPerRequestDeadlineYieldsPartial(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/v1/solve", hardInstanceDoc(t, 1))
 	res := decodeBody[SolveResult](t, resp)
 	if res.Error != "" {
 		t.Fatalf("expected a best-effort mapping, got error: %s", res.Error)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/resilience"
 )
 
 // Config tunes a Service. The zero value is ready to use.
@@ -31,6 +32,12 @@ type Config struct {
 	// oversized requests fail with a structured 413 instead of being
 	// decoded in full.
 	MaxBodyBytes int64
+	// MaxConcurrent bounds the POST requests served at once; the rest
+	// queue (default 4 × GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds the POST requests waiting for a slot; past it
+	// requests are shed with 429 (default 4 × MaxConcurrent).
+	MaxQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,29 +56,55 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
 	return c
 }
 
 // Service is the HTTP solve service. Create it with New and mount it as
 // an http.Handler; it is safe for concurrent use.
 type Service struct {
-	cfg      Config
-	cache    *sessionCache
-	mux      *http.ServeMux
-	requests atomic.Int64
-	panics   atomic.Int64
+	cfg       Config
+	cache     *sessionCache
+	mux       *http.ServeMux
+	limiter   *resilience.Limiter
+	breaker   *resilience.Breaker
+	flight    resilience.Group[SolveResult]
+	requests  atomic.Int64
+	panics    atomic.Int64
+	shed      atomic.Int64
+	coalesced atomic.Int64
+	solves    atomic.Int64
+
+	// solveGate, when non-nil, runs on the singleflight leader right
+	// before the underlying session solve. Test seam for the chaos
+	// harness (injected solver stalls); set it before serving.
+	solveGate func(spec SolveSpec)
 }
 
-// New builds a Service with its routes mounted.
+// New builds a Service with its routes mounted. All POST paths sit
+// behind the admission middleware (bounded concurrency, bounded queue,
+// deadline-aware shedding — see admit); the exact-escalation circuit
+// breaker degrades repeated budget-blown solves to the heuristic route.
 func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg.withDefaults(),
-		cache: newSessionCache(cfg.withDefaults().CacheSize),
+		cfg:   cfg,
+		cache: newSessionCache(cfg.CacheSize),
 		mux:   http.NewServeMux(),
+		limiter: resilience.NewLimiter(resilience.LimiterConfig{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxWaiting:    cfg.MaxQueue,
+		}),
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
 	}
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/remap/stream", s.handleRemapStream)
+	s.mux.HandleFunc("POST /v1/solve", s.admit(s.handleSolve))
+	s.mux.HandleFunc("POST /v1/solve/batch", s.admit(s.handleBatch))
+	s.mux.HandleFunc("POST /v1/remap/stream", s.admit(s.handleRemapStream))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -127,6 +160,9 @@ type errorBody struct {
 	Error string `json:"error"`
 	// MaxBodyBytes echoes the request-size cap on 413 responses.
 	MaxBodyBytes int64 `json:"maxBodyBytes,omitempty"`
+	// RetryAfterMillis carries the load-derived retry hint on 429/503
+	// admission sheds (the Retry-After header rounds it up to seconds).
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -142,6 +178,11 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheSize:    size,
 		CacheEvicted: evicted,
 		Panics:       s.panics.Load(),
+		Shed:         s.shed.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Solves:       s.solves.Load(),
+		BreakerState: s.breaker.State().String(),
+		BreakerTrips: s.breaker.Trips(),
 	})
 }
 
@@ -168,15 +209,27 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]SolveResult, len(batch.Problems))
 	sem := make(chan struct{}, s.cfg.BatchParallelism)
+	ctx := r.Context()
 	var wg sync.WaitGroup
+fanout:
 	for i, spec := range batch.Problems {
+		// Waiting for a fan-out slot must not outlive the client: when
+		// the request context dies (disconnect, deadline), stop spawning
+		// solves and mark every remaining problem canceled in-band.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := i; j < len(batch.Problems); j++ {
+				results[j] = SolveResult{Error: fmt.Sprintf("canceled before solve: %v", context.Cause(ctx))}
+			}
+			break fanout
+		}
 		i, spec := i, spec
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = s.solveOne(r.Context(), spec)
+			results[i] = s.solveOne(ctx, spec)
 		}()
 	}
 	wg.Wait()
@@ -185,7 +238,10 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // solveOne answers one spec: session from the warm cache (or built and
 // inserted), per-request deadline mapped to context, solver errors
-// reported in-band.
+// reported in-band. Identical concurrent solves coalesce onto one
+// underlying solver run (singleflight on the instance hash), and the
+// exact-escalation circuit breaker degrades a train of budget-blown
+// searches to the heuristic route instead of letting them pile up.
 func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 	s.requests.Add(1)
 	start := time.Now()
@@ -201,7 +257,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 		return finish(SolveResult{Error: err.Error()})
 	}
 
-	sess, hit, err := s.session(spec)
+	sess, key, hit, err := s.session(spec)
 	if err != nil {
 		return finish(SolveResult{Error: err.Error()})
 	}
@@ -216,27 +272,78 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 		defer cancel()
 	}
 
-	res, err := sess.Solve(ctx, repro.SolveRequest{
-		Objective:   objective,
-		MaxLatency:  spec.MaxLatency,
-		MaxFailProb: spec.MaxFailProb,
-	})
-	if err != nil {
-		out := SolveResult{Error: err.Error(), CacheHit: hit}
-		if errors.Is(err, repro.ErrInfeasible) {
-			out.Error = "infeasible: " + err.Error()
+	// Breaker-guarded exact escalation: while open, the request runs
+	// the heuristic route regardless of instance size, so a train of
+	// deadline-blown exact searches degrades instead of stacking up.
+	forced, probing := false, false
+	var token uint64
+	if !spec.ForceHeuristic {
+		if gen, ok := s.breaker.Allow(); ok {
+			token, probing = gen, true
+		} else {
+			forced = true
 		}
-		return finish(out)
 	}
-	return finish(SolveResult{
-		Mapping:     res.Mapping,
-		Latency:     res.Metrics.Latency,
-		FailureProb: res.Metrics.FailureProb,
-		Certainty:   res.Certainty.String(),
-		Method:      res.Method,
-		Partial:     res.Certainty == repro.Partial,
-		CacheHit:    hit,
+
+	// Coalesce identical in-flight solves: the key is the warm-session
+	// hash (instance + session options) plus everything else that shapes
+	// the answer. Only the leader calls the solver; duplicates share its
+	// result.
+	flightKey := fmt.Sprintf("%s|%d|%g|%g|%d|%t",
+		key, objective, spec.MaxLatency, spec.MaxFailProb, spec.DeadlineMillis, forced)
+	leaderRan := false
+	res, shared, err := s.flight.Do(ctx, flightKey, func() (SolveResult, error) {
+		leaderRan = true
+		s.solves.Add(1)
+		if gate := s.solveGate; gate != nil {
+			gate(spec)
+		}
+		r, err := sess.Solve(ctx, repro.SolveRequest{
+			Objective:      objective,
+			MaxLatency:     spec.MaxLatency,
+			MaxFailProb:    spec.MaxFailProb,
+			ForceHeuristic: forced,
+		})
+		if err != nil {
+			out := SolveResult{Error: err.Error(), Degraded: forced}
+			if errors.Is(err, repro.ErrInfeasible) {
+				out.Error = "infeasible: " + err.Error()
+			}
+			return out, nil
+		}
+		return SolveResult{
+			Mapping:     r.Mapping,
+			Latency:     r.Metrics.Latency,
+			FailureProb: r.Metrics.FailureProb,
+			Certainty:   r.Certainty.String(),
+			Method:      r.Method,
+			Partial:     r.Certainty == repro.Partial,
+			Degraded:    forced,
+		}, nil
 	})
+	if probing {
+		if leaderRan {
+			// A partial answer means the deadline fired mid-search — the
+			// overload signal the breaker counts. In-band solver errors
+			// (infeasibility, …) are instance properties, not overload.
+			s.breaker.Record(token, err == nil && !res.Partial)
+		} else {
+			// Coalesced duplicate: the guarded work never ran under this
+			// token; free the half-open probe slot.
+			s.breaker.Cancel(token)
+		}
+	}
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		// Only duplicates see errors here: their context died while
+		// waiting, or the leader panicked mid-solve.
+		return finish(SolveResult{Error: fmt.Sprintf("coalesced solve: %v", err), Coalesced: shared, CacheHit: hit})
+	}
+	res.CacheHit = hit
+	res.Coalesced = shared
+	return finish(res)
 }
 
 // parseObjective maps the wire objective to the library's enum.
@@ -251,14 +358,15 @@ func parseObjective(name string) (repro.Objective, error) {
 	}
 }
 
-// session returns the warm session for the spec's instance and tuning,
-// building and caching it on a miss.
-func (s *Service) session(spec SolveSpec) (*repro.Session, bool, error) {
+// session returns the warm session for the spec's instance and tuning
+// (building and caching it on a miss) together with the instance hash
+// used as the cache key.
+func (s *Service) session(spec SolveSpec) (*repro.Session, string, bool, error) {
 	key, err := sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
 	if err != nil {
-		return nil, false, fmt.Errorf("hashing instance: %w", err)
+		return nil, "", false, fmt.Errorf("hashing instance: %w", err)
 	}
-	return s.cache.getOrCreate(key, func() (*repro.Session, error) {
+	sess, hit, err := s.cache.getOrCreate(key, func() (*repro.Session, error) {
 		opts := []repro.SessionOption{
 			repro.WithWorkers(spec.Workers),
 			repro.WithExactBudget(spec.ExactBudget),
@@ -269,4 +377,5 @@ func (s *Service) session(spec SolveSpec) (*repro.Session, bool, error) {
 		}
 		return repro.NewSession(spec.Pipeline, spec.Platform, opts...)
 	})
+	return sess, key, hit, err
 }

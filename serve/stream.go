@@ -119,7 +119,7 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 	// Create (and thereby validate) the session before touching the fault
 	// schedule: schedule generation must only ever see a platform that
 	// passed validation.
-	sess, _, err := s.session(SolveSpec{
+	sess, _, _, err := s.session(SolveSpec{
 		Pipeline: spec.Pipeline, Platform: spec.Platform,
 		Workers: spec.Workers, ExactBudget: spec.ExactBudget,
 		ForceHeuristic: spec.ForceHeuristic, Seed: spec.Seed,

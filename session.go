@@ -171,6 +171,12 @@ type SolveRequest struct {
 	// MaxFailProb bounds the failure probability when minimizing latency
 	// (0 or 1: unconstrained).
 	MaxFailProb float64
+	// ForceHeuristic skips exact enumeration for this call only,
+	// regardless of instance size — a per-request override of
+	// WithForceHeuristic that lets a serving tier degrade a single
+	// solve (e.g. while a circuit breaker on the exact route is open)
+	// without building a second session.
+	ForceHeuristic bool
 }
 
 // Solve routes the request to the strongest method for the platform class
@@ -182,13 +188,15 @@ type SolveRequest struct {
 func (s *Session) Solve(ctx context.Context, req SolveRequest) (Result, error) {
 	ctx, cancel := s.callCtx(ctx)
 	defer cancel()
+	opts := s.coreOptions()
+	opts.ForceHeuristic = opts.ForceHeuristic || req.ForceHeuristic
 	return core.SolveCtx(ctx, Problem{
 		Pipeline:    s.pipe,
 		Platform:    s.plat,
 		Objective:   req.Objective,
 		MaxLatency:  req.MaxLatency,
 		MaxFailProb: req.MaxFailProb,
-	}, s.coreOptions())
+	}, opts)
 }
 
 // Pareto computes the latency/FP trade-off front: exhaustively on small
