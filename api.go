@@ -20,6 +20,7 @@ import (
 	"repro/internal/poly"
 	"repro/internal/remap"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/throughput"
 	"repro/internal/workload"
 )
@@ -53,6 +54,14 @@ type (
 	Result = core.Result
 	// SolveOptions tunes exact-versus-heuristic routing.
 	SolveOptions = core.Options
+	// Recorder aggregates solve telemetry — counters, gauges, streaming
+	// latency sketches and per-instance-class route profiles — and powers
+	// deadline-adaptive routing (see WithRecorder). Create one with
+	// NewRecorder and share it across sessions.
+	Recorder = telemetry.Recorder
+	// RouteSnapshot is one (instance class, route) latency profile cell
+	// exported by Recorder.SolveStats.
+	RouteSnapshot = telemetry.RouteSnapshot
 	// AnnealConfig tunes the simulated-annealing heuristic.
 	AnnealConfig = heuristics.AnnealConfig
 	// Front is a Pareto front over (latency, failure probability).
@@ -98,6 +107,10 @@ type (
 	// TriResult is a solved tri-criteria instance.
 	TriResult = throughput.TriResult
 )
+
+// NewRecorder returns an empty telemetry recorder ready to share across
+// sessions via WithRecorder; see Recorder.
+func NewRecorder() *Recorder { return telemetry.NewRecorder() }
 
 // Platform classes.
 const (

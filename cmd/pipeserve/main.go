@@ -10,7 +10,8 @@
 //	POST /v1/solve/batch   {"problems": [...]} — one result per problem
 //	POST /v1/remap/stream  failure-reactive re-mapping campaign (NDJSON stream)
 //	GET  /healthz          liveness probe
-//	GET  /v1/stats         request and session-cache counters
+//	GET  /v1/stats         request, session-cache and latency counters
+//	GET  /metrics          Prometheus text exposition of the same telemetry
 //
 // Example:
 //
@@ -35,6 +36,11 @@
 //	                      the overflow queues, the rest is shed with 429/503
 //	-maxqueue 0           queued POST requests past the concurrency bound
 //	                      (0 = 4 × maxconcurrent)
+//	-metrics ""           optional second listen address serving only
+//	                      GET /metrics, so the Prometheus scrape endpoint
+//	                      can stay off the public solve port
+//	-verbose              log one structured line per completed solve
+//	                      (route, class size, certainty, timing, flags)
 //	-readheadertimeout 10s  slowloris guard: time to receive request headers
 //	-readtimeout 1m       time to receive a full request (headers + body)
 //	-idletimeout 2m       keep-alive connections idle past this are closed
@@ -72,13 +78,15 @@ func main() {
 	maxBody := flag.Int64("maxbody", 8<<20, "largest accepted request body in bytes")
 	maxConcurrent := flag.Int("maxconcurrent", 0, "POST requests served at once (0 = 4 x GOMAXPROCS)")
 	maxQueue := flag.Int("maxqueue", 0, "queued POST requests past the concurrency bound (0 = 4 x maxconcurrent)")
+	metricsAddr := flag.String("metrics", "", "optional second listen address serving only GET /metrics")
+	verbose := flag.Bool("verbose", false, "log one structured line per completed solve")
 	readHeaderTimeout := flag.Duration("readheadertimeout", 10*time.Second, "time allowed to receive request headers (slowloris guard)")
 	readTimeout := flag.Duration("readtimeout", time.Minute, "time allowed to receive a full request, headers and body")
 	idleTimeout := flag.Duration("idletimeout", 2*time.Minute, "keep-alive connections idle past this are closed")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
-	svc := serve.New(serve.Config{
+	cfg := serve.Config{
 		CacheSize:        *cache,
 		DefaultDeadline:  *deadline,
 		MaxBatch:         *maxBatch,
@@ -86,7 +94,14 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
-	})
+	}
+	if *verbose {
+		cfg.SolveLog = func(e serve.SolveLogEntry) {
+			log.Printf("solve n=%d m=%d obj=%s route=%s certainty=%q elapsed=%s cacheHit=%t coalesced=%t degraded=%t partial=%t err=%q",
+				e.N, e.M, e.Objective, e.Route, e.Certainty, e.Elapsed, e.CacheHit, e.Coalesced, e.Degraded, e.Partial, e.Err)
+		}
+	}
+	svc := serve.New(cfg)
 	// No WriteTimeout: it would cut long-lived re-mapping streams; each
 	// stream already bounds itself via its deadline context.
 	server := &http.Server{
@@ -97,11 +112,32 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 	}
 
+	// Optional private metrics listener: only GET /metrics, so operators
+	// can scrape without exposing the solve API on the scrape network.
+	var metricsServer *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", svc.MetricsHandler())
+		metricsServer = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: *readHeaderTimeout,
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
+	if metricsServer != nil {
+		go func() {
+			if err := metricsServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pipeserve: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("pipeserve: metrics on %s", *metricsAddr)
+	}
 	log.Printf("pipeserve: listening on %s (cache=%d, deadline=%s)", *addr, *cache, *deadline)
 
 	select {
@@ -116,6 +152,11 @@ func main() {
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("pipeserve: shutdown: %v", err)
+		}
+		if metricsServer != nil {
+			if err := metricsServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pipeserve: metrics shutdown: %v", err)
+			}
 		}
 	}
 }

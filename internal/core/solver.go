@@ -32,6 +32,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/poly"
+	"repro/internal/telemetry"
 )
 
 // Objective selects the minimized criterion.
@@ -106,6 +107,10 @@ type Result struct {
 	Metrics   mapping.Metrics
 	Certainty Certainty
 	Method    string
+	// Route names the solver family that produced the answer — "poly",
+	// "dp", "exact", "heuristic", "beam" or "sweep" — the routing decision
+	// in machine-readable form (Method carries the human-readable detail).
+	Route string
 }
 
 // ErrInfeasible is returned when it is certain that no interval mapping
@@ -138,6 +143,19 @@ type Options struct {
 	// evaluator precomputation across calls. It is forwarded to the exact
 	// solvers, which otherwise rebuild it per call.
 	Eval *mapping.Evaluator
+	// Recorder, when non-nil, receives per-solve telemetry (route attempts
+	// with phase durations, outcome, certainty) and powers deadline-adaptive
+	// routing: on the hard classes, a route whose warm per-class p95 exceeds
+	// the context's remaining deadline budget is skipped up front in favor
+	// of a faster route, instead of starting a search that is statistically
+	// certain to be truncated to a Partial answer. Nil keeps the purely
+	// structural routing and adds no overhead.
+	Recorder *telemetry.Recorder
+	// MinRouteSamples is the per-(class, route) sample count required
+	// before the adaptive router trusts a latency profile (0 = the default
+	// DefaultMinRouteSamples, negative = disable adaptive routing). Cold
+	// profiles always fall back to the structural gates.
+	MinRouteSamples int
 }
 
 func (o Options) exactBudget() float64 {
@@ -170,10 +188,16 @@ func SolveCtx(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	if err := validate(pr); err != nil {
 		return Result{}, err
 	}
+	tr := startTrace(ctx, pr, opts)
+	var res Result
+	var err error
 	if pr.Objective == MinimizeFailureProb {
-		return solveMinFP(ctx, pr, opts)
+		res, err = solveMinFP(ctx, pr, opts, tr)
+	} else {
+		res, err = solveMinLatency(ctx, pr, opts, tr)
 	}
-	return solveMinLatency(ctx, pr, opts)
+	tr.finish(&res, err)
+	return res, err
 }
 
 func validate(pr Problem) error {
@@ -203,14 +227,14 @@ func (pr Problem) fpUnconstrained() bool {
 	return pr.MaxFailProb == 0 || pr.MaxFailProb == 1
 }
 
-func solveMinFP(ctx context.Context, pr Problem, opts Options) (Result, error) {
+func solveMinFP(ctx context.Context, pr Problem, opts Options, tr *solveTrace) (Result, error) {
 	// Unconstrained: Theorem 1 on every platform class.
 	if pr.latencyUnconstrained() {
 		res, err := poly.MinFailureProb(pr.Pipeline, pr.Platform)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 1: replicate the whole pipeline on all processors"}, nil
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 1: replicate the whole pipeline on all processors", "poly"}, nil
 	}
 	cls := pr.Platform.Classify()
 	switch {
@@ -222,7 +246,7 @@ func solveMinFP(ctx context.Context, pr Problem, opts Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 1 (Theorem 5)"}, nil
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 1 (Theorem 5)", "poly"}, nil
 	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
 		res, err := poly.Algorithm3(pr.Pipeline, pr.Platform, pr.MaxLatency)
 		if errors.Is(err, poly.ErrInfeasible) {
@@ -231,12 +255,12 @@ func solveMinFP(ctx context.Context, pr Problem, opts Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 3 (Theorem 6)"}, nil
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 3 (Theorem 6)", "poly"}, nil
 	}
-	return solveHard(ctx, pr, opts)
+	return solveHard(ctx, pr, opts, tr)
 }
 
-func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, error) {
+func solveMinLatency(ctx context.Context, pr Problem, opts Options, tr *solveTrace) (Result, error) {
 	cls := pr.Platform.Classify()
 	if pr.fpUnconstrained() {
 		if cls == platform.FullyHomogeneous || cls == platform.CommHomogeneous {
@@ -244,7 +268,7 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 			if err != nil {
 				return Result{}, err
 			}
-			return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 2: whole pipeline on the fastest processor"}, nil
+			return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Theorem 2: whole pipeline on the fastest processor", "poly"}, nil
 		}
 		// Fully heterogeneous latency minimization over interval mappings:
 		// complexity open (the paper suspects NP-hard). The Theorem 4
@@ -255,31 +279,36 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 		bounds, bErr := poly.IntervalLatencyBounds(pr.Pipeline, pr.Platform)
 		if bErr == nil && bounds.Tight {
 			return Result{bounds.Upper.Mapping, bounds.Upper.Metrics, ProvablyOptimal,
-				"Theorem 4 relaxation (general optimum is interval-shaped)"}, nil
+				"Theorem 4 relaxation (general optimum is interval-shaped)", "poly"}, nil
 		}
-		res, err := solveHard(ctx, pr, opts)
+		res, err := solveHard(ctx, pr, opts, tr)
 		if bErr == nil && (err != nil || bounds.Upper.Metrics.Latency < res.Metrics.Latency) {
 			cert := Heuristic
 			if ctx.Err() != nil {
 				cert = Partial
 			}
 			res = Result{bounds.Upper.Mapping, bounds.Upper.Metrics, cert,
-				"Theorem 4 relaxation + path repair"}
+				"Theorem 4 relaxation + path repair", "poly"}
 			err = nil
 		}
 		// Beam search explores interval mappings with singleton replica
 		// sets — a strict subset of the exact enumeration space — so it
 		// can only help when the search above was heuristic or partial.
 		if err != nil || (res.Certainty != ProvablyOptimal && res.Certainty != ExhaustivelyOptimal) {
-			if beam, beamErr := heuristics.BeamSearchMinLatency(ctx, heuristicProblem(pr, opts), 32); beam.Mapping != nil {
+			began := tr.begin()
+			beam, beamErr := heuristics.BeamSearchMinLatency(ctx, heuristicProblem(pr, opts), 32)
+			if beam.Mapping != nil {
+				tr.end(telemetry.RouteBeam, began, attemptOutcome(nil, beamErr != nil))
 				if err != nil || beam.Metrics.Latency < res.Metrics.Latency {
 					cert := Heuristic
 					if beamErr != nil { // canceled mid-search: best-so-far
 						cert = Partial
 					}
-					res = Result{beam.Mapping, beam.Metrics, cert, "beam search over interval prefixes"}
+					res = Result{beam.Mapping, beam.Metrics, cert, "beam search over interval prefixes", "beam"}
 					err = nil
 				}
+			} else {
+				tr.end(telemetry.RouteBeam, began, telemetry.OutcomeNotFound)
 			}
 		}
 		return res, err
@@ -293,7 +322,7 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 2 (Theorem 5)"}, nil
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 2 (Theorem 5)", "poly"}, nil
 	case cls == platform.CommHomogeneous && pr.Platform.FailureHomogeneous():
 		res, err := poly.Algorithm4(pr.Pipeline, pr.Platform, pr.MaxFailProb)
 		if errors.Is(err, poly.ErrInfeasible) {
@@ -302,9 +331,9 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 4 (Theorem 6)"}, nil
+		return Result{res.Mapping, res.Metrics, ProvablyOptimal, "Algorithm 4 (Theorem 6)", "poly"}, nil
 	}
-	return solveHard(ctx, pr, opts)
+	return solveHard(ctx, pr, opts, tr)
 }
 
 // solveHard handles the open and NP-hard classes: the bitmask dynamic
@@ -314,36 +343,49 @@ func solveMinLatency(ctx context.Context, pr Problem, opts Options) (Result, err
 // the incumbent graded Partial; when the context fired before any
 // candidate was seen, a fast single-interval sweep provides the
 // best-effort answer.
-func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
+//
+// With a warm telemetry profile, each structural gate is additionally
+// conditioned on tr.fits: a route whose per-class p95 latency exceeds the
+// remaining deadline budget is skipped up front — the next route serves a
+// complete (if weaker-certainty) answer instead of a truncated Partial.
+func solveHard(ctx context.Context, pr Problem, opts Options, tr *solveTrace) (Result, error) {
 	n, m := pr.Pipeline.NumStages(), pr.Platform.NumProcs()
 	// An already-done context must not start a new search phase — not
 	// even the polynomial DP, which is fast but not interruptible once
 	// running. Serve the sweep-based best-effort answer immediately.
 	if ctx.Err() != nil {
-		return solvePartialFallback(pr, opts, fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(ctx)))
+		return solvePartialFallback(pr, opts, tr, fmt.Errorf("%w: %w", exact.ErrCanceled, context.Cause(ctx)))
 	}
 	if !opts.ForceHeuristic {
-		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs {
+		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs && tr.fits(telemetry.RouteDP) {
+			began := tr.begin()
 			res, err := solveBitmaskDP(ctx, pr)
 			if err == nil || errors.Is(err, ErrInfeasible) {
+				tr.end(telemetry.RouteDP, began, attemptOutcome(err, false))
 				return res, err
 			}
 			if errors.Is(err, exact.ErrCanceled) {
-				return solvePartialFallback(pr, opts, err)
+				tr.end(telemetry.RouteDP, began, telemetry.OutcomePartial)
+				return solvePartialFallback(pr, opts, tr, err)
 			}
+			tr.end(telemetry.RouteDP, began, telemetry.OutcomeError)
 		}
-		if EstimateMappingCount(n, m) <= opts.exactBudget() {
+		if EstimateMappingCount(n, m) <= opts.exactBudget() && tr.fits(telemetry.RouteExact) {
+			began := tr.begin()
 			res, err := solveExact(ctx, pr, opts)
 			if err == nil || errors.Is(err, ErrInfeasible) {
+				tr.end(telemetry.RouteExact, began, attemptOutcome(err, res.Certainty == Partial))
 				return res, err
 			}
 			if errors.Is(err, exact.ErrCanceled) {
-				return solvePartialFallback(pr, opts, err)
+				tr.end(telemetry.RouteExact, began, telemetry.OutcomePartial)
+				return solvePartialFallback(pr, opts, tr, err)
 			}
 			// Enumeration failed for another reason: fall through.
+			tr.end(telemetry.RouteExact, began, telemetry.OutcomeError)
 		}
 	}
-	return solveHeuristic(ctx, pr, opts)
+	return solveHeuristic(ctx, pr, opts, tr)
 }
 
 // solvePartialFallback produces a best-effort answer after a cancellation
@@ -352,11 +394,14 @@ func solveHard(ctx context.Context, pr Problem, opts Options) (Result, error) {
 // platform classes even contains the true optimum. cancelErr wraps the
 // context's cause; it is propagated (together with ErrNotFound) when even
 // the sweep sees no feasible mapping.
-func solvePartialFallback(pr Problem, opts Options, cancelErr error) (Result, error) {
+func solvePartialFallback(pr Problem, opts Options, tr *solveTrace, cancelErr error) (Result, error) {
 	hp := heuristicProblem(pr, opts)
+	began := tr.begin()
 	if sweep, err := heuristics.SingleIntervalSweep(hp); err == nil {
-		return Result{sweep.Mapping, sweep.Metrics, Partial, "single-interval sweep (canceled before search)"}, nil
+		tr.end(telemetry.RouteSweep, began, telemetry.OutcomePartial)
+		return Result{sweep.Mapping, sweep.Metrics, Partial, "single-interval sweep (canceled before search)", "sweep"}, nil
 	}
+	tr.end(telemetry.RouteSweep, began, telemetry.OutcomeNotFound)
 	return Result{}, fmt.Errorf("%w: %w", ErrNotFound, cancelErr)
 }
 
@@ -385,11 +430,11 @@ func solveBitmaskDP(ctx context.Context, pr Problem) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
+	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method, "dp"}, nil
 }
 
 func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
-	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval}
+	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval, Recorder: opts.Recorder}
 	var res exact.Result
 	var err error
 	var method string
@@ -406,7 +451,7 @@ func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	}
 	if errors.Is(err, exact.ErrCanceled) {
 		if res.Mapping != nil {
-			return Result{res.Mapping, res.Metrics, Partial, method + " (canceled: best-so-far)"}, nil
+			return Result{res.Mapping, res.Metrics, Partial, method + " (canceled: best-so-far)", "exact"}, nil
 		}
 		return Result{}, err
 	}
@@ -416,7 +461,7 @@ func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method}, nil
+	return Result{res.Mapping, res.Metrics, ExhaustivelyOptimal, method, "exact"}, nil
 }
 
 // heuristicProblem translates the core problem into the heuristics
@@ -424,7 +469,7 @@ func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
 // (when one is configured) so every heuristic scores candidates through
 // the shared precomputed state instead of rebuilding it per call.
 func heuristicProblem(pr Problem, opts Options) *heuristics.Problem {
-	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform, Eval: opts.Eval}
+	hp := &heuristics.Problem{Pipe: pr.Pipeline, Plat: pr.Platform, Eval: opts.Eval, Recorder: opts.Recorder}
 	if pr.Objective == MinimizeFailureProb {
 		hp.Goal = heuristics.MinFP
 		hp.Bound = pr.MaxLatency
@@ -438,10 +483,11 @@ func heuristicProblem(pr Problem, opts Options) *heuristics.Problem {
 	return hp
 }
 
-func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, error) {
+func solveHeuristic(ctx context.Context, pr Problem, opts Options, tr *solveTrace) (Result, error) {
 	hp := heuristicProblem(pr, opts)
 	best := Result{}
 	found := false
+	began := tr.begin()
 	// The ctx-aware searches return their best-so-far result alongside a
 	// non-nil error when canceled; any mapping they produced is usable.
 	if g, err := heuristics.Greedy(ctx, hp); g.Mapping != nil {
@@ -449,7 +495,7 @@ func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, erro
 		if err != nil {
 			cert = Partial
 		}
-		best = Result{g.Mapping, g.Metrics, cert, "greedy local improvement"}
+		best = Result{g.Mapping, g.Metrics, cert, "greedy local improvement", "heuristic"}
 		found = true
 	}
 	if a, err := heuristics.Anneal(ctx, hp, opts.Anneal); a.Mapping != nil {
@@ -458,11 +504,12 @@ func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, erro
 			if err != nil {
 				cert = Partial
 			}
-			best = Result{a.Mapping, a.Metrics, cert, "simulated annealing"}
+			best = Result{a.Mapping, a.Metrics, cert, "simulated annealing", "heuristic"}
 			found = true
 		}
 	}
 	if !found {
+		tr.end(telemetry.RouteHeuristic, began, telemetry.OutcomeNotFound)
 		if cause := context.Cause(ctx); cause != nil {
 			return Result{}, fmt.Errorf("%w: %w", ErrNotFound, cause)
 		}
@@ -473,6 +520,7 @@ func solveHeuristic(ctx context.Context, pr Problem, opts Options) (Result, erro
 	if ctx.Err() != nil {
 		best.Certainty = Partial
 	}
+	tr.end(telemetry.RouteHeuristic, began, attemptOutcome(nil, best.Certainty == Partial))
 	return best, nil
 }
 

@@ -6,9 +6,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/mapping"
+	"repro/internal/telemetry"
 )
 
 // This file is the shared enumeration engine behind the four exact
@@ -75,6 +77,7 @@ type engine struct {
 	abort      atomic.Bool
 	overBudget atomic.Bool
 	canceled   atomic.Bool
+	rec        *telemetry.Recorder // nil: no telemetry
 
 	nextTask   atomic.Int64
 	totalTasks int64
@@ -93,6 +96,7 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 		replication: opts.Replication,
 		ctx:         opts.Ctx,
 		budget:      opts.maxEnum(),
+		rec:         opts.Recorder,
 	}
 	if ev != nil {
 		g.commHom = ev.CommHom()
@@ -136,6 +140,16 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 // node expansion, not one subtree. A canceled run returns an error
 // wrapping both ErrCanceled and the context's cause.
 func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) error {
+	if g.rec != nil {
+		// One-shot accounting per run: the inner loop never touches the
+		// recorder, so the nil-recorder path and the hot path are identical.
+		started := time.Now()
+		defer func() {
+			g.rec.Counter("exact_runs_total").Inc()
+			g.rec.Counter("exact_enumerated_total").Add(g.counter.Load())
+			g.rec.Observe("exact_search_duration", time.Since(started))
+		}()
+	}
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}

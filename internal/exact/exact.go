@@ -37,6 +37,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // ErrBudget is returned when an enumeration would exceed Options.MaxEnum
@@ -83,6 +84,11 @@ type Options struct {
 	// precomputation across calls. The caller is responsible for the pair
 	// actually matching the solver arguments.
 	Eval *mapping.Evaluator
+	// Recorder, when non-nil, receives per-run engine telemetry: run and
+	// enumerated-mapping counters plus a search-duration sketch. The
+	// enumeration inner loop is untouched either way — recording happens
+	// once per run, outside the hot path.
+	Recorder *telemetry.Recorder
 
 	// forceWide (tests only) runs the multi-word wide search even on
 	// platforms the narrow uint64 search covers, so the wide path can be

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/frontier"
 	"repro/internal/mapping"
@@ -59,6 +60,9 @@ func (c AnnealConfig) withDefaults() AnnealConfig {
 // wrapping the context's cause (or just the error when nothing feasible
 // was seen). An uncanceled run is deterministic for a fixed config.
 func Anneal(ctx context.Context, pr *Problem, cfg AnnealConfig) (Result, error) {
+	if pr.Recorder != nil {
+		defer pr.observeRun("anneal", time.Now())
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	done := ctxDone(ctx)

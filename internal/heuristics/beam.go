@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/mapping"
@@ -36,6 +37,9 @@ import (
 // routed via internal/core); pr.Goal and pr.Bound are ignored — the beam
 // minimizes latency unconstrained.
 func BeamSearchMinLatency(ctx context.Context, pr *Problem, beamWidth int) (Result, error) {
+	if pr.Recorder != nil {
+		defer pr.observeRun("beam", time.Now())
+	}
 	p, pl := pr.Pipe, pr.Plat
 	n, m := p.NumStages(), pl.NumProcs()
 	if beamWidth <= 0 {

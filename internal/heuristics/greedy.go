@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/mapping"
 )
@@ -56,6 +57,9 @@ const (
 // canceled search returns the best feasible mapping reached so far
 // alongside an error wrapping the context's cause.
 func Greedy(ctx context.Context, pr *Problem) (Result, error) {
+	if pr.Recorder != nil {
+		defer pr.observeRun("greedy", time.Now())
+	}
 	best, err := seed(pr)
 	if err != nil {
 		return Result{}, err

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // ErrNotFound is returned when the heuristic encountered no mapping
@@ -67,6 +69,21 @@ type Problem struct {
 	// so every solver in the package scores candidates through the shared
 	// precomputed state. When nil it is built lazily on first use.
 	Eval *mapping.Evaluator
+	// Recorder, when non-nil, receives per-run counters and duration
+	// sketches for each heuristic family (greedy, anneal, beam). Recording
+	// happens once per run, outside the candidate-scoring loop.
+	Recorder *telemetry.Recorder
+}
+
+// observeRun records one heuristic run (no-op without a recorder): a
+// "heuristic_<family>_runs_total" counter and a
+// "heuristic_<family>_duration" sketch keyed by the family name.
+func (pr *Problem) observeRun(family string, started time.Time) {
+	if pr.Recorder == nil {
+		return
+	}
+	pr.Recorder.Counter("heuristic_" + family + "_runs_total").Inc()
+	pr.Recorder.Observe("heuristic_"+family+"_duration", time.Since(started))
 }
 
 // evaluator returns the problem's evaluator, building and caching it on

@@ -45,6 +45,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // DefaultDeadline is the per-event repair budget when Config.Deadline is
@@ -104,6 +105,10 @@ type Config struct {
 	// (pipeline, platform), so the controller's repair state shares the
 	// precomputation. Built on demand when nil.
 	Eval *mapping.Evaluator
+	// Recorder, when non-nil, receives repair telemetry: each repair feeds
+	// the instance class's "repair" route latency profile, and the
+	// escalated exact solves record through the same recorder.
+	Recorder *telemetry.Recorder
 }
 
 func (c Config) deadline() time.Duration {
@@ -172,10 +177,11 @@ type Repair struct {
 // Controller is the failure-reactive re-mapping loop. Create it with
 // New; it is safe for concurrent use.
 type Controller struct {
-	pipe *pipeline.Pipeline
-	plat *platform.Platform
-	cfg  Config
-	hp   *heuristics.Problem
+	pipe  *pipeline.Pipeline
+	plat  *platform.Platform
+	cfg   Config
+	hp    *heuristics.Problem
+	class telemetry.Class // instance class for repair telemetry
 
 	mu     sync.Mutex
 	fs     *sim.FaultState
@@ -208,7 +214,7 @@ func New(pipe *pipeline.Pipeline, plat *platform.Platform, start *mapping.Mappin
 			return nil, err
 		}
 	}
-	hp := &heuristics.Problem{Pipe: pipe, Plat: plat, Eval: ev}
+	hp := &heuristics.Problem{Pipe: pipe, Plat: plat, Eval: ev, Recorder: cfg.Recorder}
 	if cfg.Objective == core.MinimizeFailureProb {
 		hp.Goal = heuristics.MinFP
 		hp.Bound = cfg.MaxLatency
@@ -226,11 +232,17 @@ func New(pipe *pipeline.Pipeline, plat *platform.Platform, start *mapping.Mappin
 	if err != nil {
 		return nil, err
 	}
+	obj := telemetry.ObjLatency
+	if cfg.Objective == core.MinimizeFailureProb {
+		obj = telemetry.ObjFP
+	}
+	_, commHom := plat.CommHomogeneous()
 	return &Controller{
 		pipe:   pipe,
 		plat:   plat,
 		cfg:    cfg,
 		hp:     hp,
+		class:  telemetry.ClassOf(pipe.NumStages(), plat.NumProcs(), commHom, obj),
 		fs:     sim.NewFaultState(plat.NumProcs()),
 		banned: bitset.Make(plat.NumProcs()),
 		cur:    start,
@@ -409,6 +421,9 @@ func (c *Controller) repairLocked(ctx context.Context, ev sim.FaultEvent, start 
 		hold := c.unchanged(ev, "all processors failed (holding last mapping)", start)
 		hold.Certainty = core.Partial
 		c.grade = core.Partial
+		if rec := c.cfg.Recorder; rec != nil {
+			rec.ObserveRoute(c.class, telemetry.RouteRepair, hold.Elapsed, telemetry.OutcomeError)
+		}
 		return hold, ErrAllFailed
 	}
 	if ctx == nil {
@@ -449,6 +464,14 @@ func (c *Controller) repairLocked(ctx context.Context, ev sim.FaultEvent, start 
 	}
 
 	c.cur, c.met, c.grade = res.Mapping, res.Metrics, grade
+	elapsed := time.Since(start)
+	if rec := c.cfg.Recorder; rec != nil {
+		out := telemetry.OutcomeOK
+		if grade == core.Partial {
+			out = telemetry.OutcomePartial
+		}
+		rec.ObserveRoute(c.class, telemetry.RouteRepair, elapsed, out)
+	}
 	return Repair{
 		Event:     ev,
 		Mapping:   res.Mapping,
@@ -458,7 +481,7 @@ func (c *Controller) repairLocked(ctx context.Context, ev sim.FaultEvent, start 
 		Changed:   true,
 		Violation: c.violation(res.Metrics),
 		Down:      c.fs.FailedProcs(),
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 	}, nil
 }
 
@@ -499,7 +522,7 @@ func (c *Controller) escalate(ctx context.Context, remaining time.Duration) (*ma
 	}
 	ectx, cancel := context.WithTimeout(ctx, remaining)
 	defer cancel()
-	exres, err := core.SolveCtx(ectx, pr, core.Options{ExactBudget: budget, Workers: c.cfg.Workers})
+	exres, err := core.SolveCtx(ectx, pr, core.Options{ExactBudget: budget, Workers: c.cfg.Workers, Recorder: c.cfg.Recorder})
 	if ectx.Err() != nil {
 		return nil, mapping.Metrics{}, 0, "", escCanceled
 	}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value works;
+// registry-owned counters carry their export name.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n (no-op on a nil receiver, so disabled
+// telemetry costs one pointer test).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the current value (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a name-keyed store of counters, gauges and sketches.
+// Get-or-create takes a read-lock on warm names and a write-lock only
+// on first registration; the returned pointers are stable, so callers
+// should resolve them once and hold them for the hot path. The zero
+// value is ready to use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	sketches map[string]*Sketch
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c != nil {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c = &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g != nil {
+		return g
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g = &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Sketch returns the named duration sketch, registering it on first use.
+func (r *Registry) Sketch(name string) *Sketch {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	s := r.sketches[name]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.sketches[name]; s != nil {
+		return s
+	}
+	if r.sketches == nil {
+		r.sketches = make(map[string]*Sketch)
+	}
+	s = &Sketch{}
+	r.sketches[name] = s
+	return s
+}
+
+// Observe records d into the named sketch (registering it on first
+// use); nil-safe like every record path.
+func (r *Registry) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Sketch(name).Observe(d)
+}
+
+// visit hands the caller a name-sorted snapshot of each metric family.
+// Used by the Prometheus exporter; values are read live (atomics), only
+// the key set is copied.
+func (r *Registry) visit(counters func(*Counter), gauges func(*Gauge), sketches func(name string, s *Sketch)) {
+	r.mu.RLock()
+	cs := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	gs := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gs = append(gs, g)
+	}
+	names := make([]string, 0, len(r.sketches))
+	for n := range r.sketches {
+		names = append(names, n)
+	}
+	sk := make(map[string]*Sketch, len(r.sketches))
+	for n, s := range r.sketches {
+		sk[n] = s
+	}
+	r.mu.RUnlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Strings(names)
+	for _, c := range cs {
+		counters(c)
+	}
+	for _, g := range gs {
+		gauges(g)
+	}
+	for _, n := range names {
+		sketches(n, sk[n])
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Sketch bucket geometry: log-linear (HDR-style) buckets over
+// nanoseconds. Values below 2^(subBits+1) ns get exact unit buckets;
+// above that each power-of-two octave is split into 2^subBits linear
+// sub-buckets, bounding the relative bucket width by 1/2^subBits. With
+// subBits = 3 the width is ≤ 12.5% and 512 buckets cover every int64
+// duration (≈ 292 years), so the index math never overflows or clamps
+// for real timings.
+const (
+	sketchSubBits = 3
+	sketchBuckets = 64 << sketchSubBits
+)
+
+// Sketch is a streaming histogram of durations with quantile queries:
+// fixed log-linear buckets, atomic counters, no allocation and no lock
+// on Observe. The zero value is ready to use. Merging two sketches adds
+// their buckets — exact and associative, unlike sampling sketches — so
+// aggregation across workers, shards or time windows is deterministic.
+type Sketch struct {
+	counts [sketchBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds; valid when count > 0
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if exp := bits.Len64(u); exp > sketchSubBits+1 {
+		shift := uint(exp - sketchSubBits - 1)
+		return int(shift)<<sketchSubBits + int(u>>shift)
+	}
+	return int(u) // exact unit buckets for v < 2^(subBits+1)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i
+// (hi clamps to MaxInt64 on the last octave).
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 1<<(sketchSubBits+1) {
+		return int64(i), int64(i) + 1
+	}
+	shift := uint(i>>sketchSubBits) - 1
+	ulo := uint64((1<<sketchSubBits)+(i&(1<<sketchSubBits-1))) << shift
+	uhi := ulo + uint64(1)<<shift
+	if uhi > math.MaxInt64 {
+		uhi = math.MaxInt64
+	}
+	return int64(ulo), int64(uhi)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (s *Sketch) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() int64 { return s.count.Load() }
+
+// Sum returns the total of all observations.
+func (s *Sketch) Sum() time.Duration { return time.Duration(s.sum.Load()) }
+
+// Merge adds o's buckets into s. The operation is bucket-wise integer
+// addition: associative, commutative and exact, so any merge tree over
+// the same sketches yields identical quantiles.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			s.counts[i].Add(c)
+		}
+	}
+	s.count.Add(o.count.Load())
+	s.sum.Add(o.sum.Load())
+	for {
+		om, cur := o.max.Load(), s.max.Load()
+		if om <= cur || s.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution, linearly interpolated within its bucket. It returns 0
+// when the sketch is empty. Concurrent Observe calls may make the
+// answer reflect a slightly torn snapshot; quiesced sketches are exact
+// to within one bucket.
+func (s *Sketch) Quantile(q float64) time.Duration {
+	total := int64(0)
+	var counts [sketchBuckets]int64
+	for i := range s.counts {
+		counts[i] = s.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			if mx := s.max.Load(); hi > mx+1 && mx >= lo {
+				hi = mx + 1 // tighten the tail bucket to the observed max
+			}
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(s.max.Load())
+}
+
+// snapshotBuckets copies the non-zero buckets, returning parallel
+// (upper bound, cumulative count) slices for text export.
+func (s *Sketch) snapshotBuckets() (uppers []int64, cumulative []int64) {
+	cum := int64(0)
+	for i := range s.counts {
+		c := s.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		uppers = append(uppers, hi)
+		cumulative = append(cumulative, cum)
+	}
+	return uppers, cumulative
+}

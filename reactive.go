@@ -28,6 +28,9 @@ func (s *Session) NewRemapController(start *Mapping, cfg RemapConfig) (*RemapCon
 	if cfg.Workers == 0 {
 		cfg.Workers = s.cfg.workers
 	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = s.cfg.recorder
+	}
 	return remap.New(s.pipe, s.plat, start, cfg)
 }
 

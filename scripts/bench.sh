@@ -11,6 +11,12 @@
 #
 #   scripts/bench.sh -compare BENCH_old.json BENCH_new.json
 #
+# Guard a hot path against regression (CI gate): benchmarks matching the
+# regex must not grow allocs/op at all, nor ns/op past the threshold.
+# Exits non-zero on violation (or when nothing matches):
+#
+#   scripts/bench.sh -guard BENCH_old.json BENCH_new.json 'Evaluate|WideM80' 40
+#
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1s)
 #   COUNT      repetitions per benchmark (default 1)
@@ -27,6 +33,52 @@ extract_lines() {
         | while IFS= read -r frag; do printf '%b' "${frag}"; done \
         | grep -E '^Benchmark.*(ns/op|allocs/op)' || true
 }
+
+if [[ "${1:-}" == "-guard" ]]; then
+    if [[ $# -ne 5 ]]; then
+        echo "usage: $0 -guard old.json new.json 'name-regex' max-ns-regress-pct" >&2
+        exit 2
+    fi
+    old_file="$2" new_file="$3" regex="$4" maxpct="$5"
+    { extract_lines "${old_file}"; echo "===SPLIT==="; extract_lines "${new_file}"; } \
+        | awk -v regex="${regex}" -v maxpct="${maxpct}" '
+            /^===SPLIT===$/ { second = 1; next }
+            {
+                name = $1; sub(/-[0-9]+$/, "", name)
+                if (name !~ regex) next
+                ns = ""; allocs = ""
+                for (i = 2; i <= NF; i++) {
+                    if ($i == "ns/op")     ns = $(i-1)
+                    if ($i == "allocs/op") allocs = $(i-1)
+                }
+                if (ns == "") next
+                if (!second) { oldNs[name] = ns; oldAllocs[name] = allocs }
+                else         { newNs[name] = ns; newAllocs[name] = allocs }
+            }
+            END {
+                bad = 0; n = 0
+                for (name in oldNs) {
+                    if (!(name in newNs)) {
+                        printf "GUARD FAIL %s: benchmark disappeared\n", name
+                        bad = 1; continue
+                    }
+                    n++
+                    d = (newNs[name] - oldNs[name]) / oldNs[name] * 100
+                    status = "ok"
+                    if (oldAllocs[name] != "" && newAllocs[name] != "" \
+                        && newAllocs[name] + 0 > oldAllocs[name] + 0) {
+                        status = "FAIL: allocs/op grew"; bad = 1
+                    } else if (d > maxpct + 0) {
+                        status = sprintf("FAIL: ns/op regressed past %s%%", maxpct); bad = 1
+                    }
+                    printf "guard %-44s ns/op %+8.1f%%  allocs %s\xe2\x86\x92%s  %s\n", \
+                        name, d, oldAllocs[name], newAllocs[name], status
+                }
+                if (n == 0) { printf "GUARD FAIL: no benchmark matched %s\n", regex; bad = 1 }
+                exit bad
+            }'
+    exit 0
+fi
 
 if [[ "${1:-}" == "-compare" ]]; then
     if [[ $# -ne 3 ]]; then

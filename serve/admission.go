@@ -76,7 +76,7 @@ func (s *Service) admit(next http.HandlerFunc) http.HandlerFunc {
 
 // writeShed maps a limiter refusal to its HTTP shape and counts it.
 func (s *Service) writeShed(w http.ResponseWriter, err error) {
-	s.shed.Add(1)
+	s.shed.Inc()
 	shed := resilience.AsShed(err)
 	if shed == nil { // defensive: the limiter only refuses with ShedError
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

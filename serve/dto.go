@@ -10,7 +10,8 @@
 //	POST /v1/solve/batch   BatchRequest   -> BatchResponse
 //	POST /v1/remap/stream  RemapSpec      -> NDJSON stream of RemapEvent
 //	GET  /healthz          liveness probe
-//	GET  /v1/stats         request and session-cache counters
+//	GET  /v1/stats         request, session-cache and latency counters
+//	GET  /metrics          Prometheus text exposition of the same telemetry
 //
 // Serve-tier robustness: request bodies are capped (structured 413 past
 // MaxBodyBytes), handler panics are recovered into structured 500s (and
@@ -85,6 +86,11 @@ type SolveResult struct {
 	Certainty string `json:"certainty,omitempty"`
 	// Method names the algorithm that produced the mapping.
 	Method string `json:"method,omitempty"`
+	// Route names the solver route that produced the answer ("poly",
+	// "dp", "exact", "heuristic", "beam", "sweep"). Unlike Method (a
+	// human-readable algorithm description), Route is a stable enum key
+	// matching the per-class latency profiles in /v1/stats and /metrics.
+	Route string `json:"route,omitempty"`
 	// Partial is true when the deadline fired and the mapping is the
 	// best found so far rather than the search's final answer.
 	Partial bool `json:"partial,omitempty"`
@@ -131,4 +137,24 @@ type Stats struct {
 	Solves       int64  `json:"solves"`       // underlying solver invocations (requests - coalesced - errors)
 	BreakerState string `json:"breakerState"` // exact-escalation breaker: "closed", "open" or "half-open"
 	BreakerTrips int64  `json:"breakerTrips"` // times the breaker tripped open
+
+	// RouteSkips counts, per route, the adaptive router's decisions to
+	// skip a route whose warm p95 latency did not fit the request's
+	// remaining deadline budget. Absent until the first skip.
+	RouteSkips map[string]int64 `json:"routeSkips,omitempty"`
+	// Latency holds the per-instance-class solve-latency profiles the
+	// adaptive router steers by, keyed class label (e.g. "n8.m16.het.lat")
+	// then route. Absent until the first recorded solve.
+	Latency map[string]map[string]RouteLatency `json:"latency,omitempty"`
+}
+
+// RouteLatency summarizes one (instance class, route) latency profile.
+type RouteLatency struct {
+	// Count is the number of recorded attempts on this route.
+	Count int64 `json:"count"`
+	// P50Millis, P95Millis and P99Millis are interpolated quantiles of
+	// the route's duration sketch, in milliseconds.
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
 }

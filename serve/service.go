@@ -8,11 +8,11 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Service. The zero value is ready to use.
@@ -38,6 +38,29 @@ type Config struct {
 	// MaxQueue bounds the POST requests waiting for a slot; past it
 	// requests are shed with 429 (default 4 × MaxConcurrent).
 	MaxQueue int
+	// SolveLog, when non-nil, observes every completed solve (including
+	// in-band errors) right before its response is written. Hook for
+	// structured per-solve logging; keep it fast — it runs on the request
+	// path, possibly concurrently.
+	SolveLog func(SolveLogEntry)
+}
+
+// SolveLogEntry is one completed solve as seen by Config.SolveLog.
+type SolveLogEntry struct {
+	// N and M are the instance's stage and processor counts (0 when the
+	// request failed before the instance was decoded).
+	N, M int
+	// Objective is the wire-format objective of the request.
+	Objective string
+	// Route, Method and Certainty mirror the SolveResult fields.
+	Route, Method, Certainty string
+	// Elapsed is the server-side solve time.
+	Elapsed time.Duration
+	// CacheHit, Coalesced, Degraded and Partial mirror the SolveResult
+	// flags.
+	CacheHit, Coalesced, Degraded, Partial bool
+	// Err carries the in-band solver error, if any.
+	Err string
 }
 
 func (c Config) withDefaults() Config {
@@ -68,17 +91,23 @@ func (c Config) withDefaults() Config {
 // Service is the HTTP solve service. Create it with New and mount it as
 // an http.Handler; it is safe for concurrent use.
 type Service struct {
-	cfg       Config
-	cache     *sessionCache
-	mux       *http.ServeMux
-	limiter   *resilience.Limiter
-	breaker   *resilience.Breaker
-	flight    resilience.Group[SolveResult]
-	requests  atomic.Int64
-	panics    atomic.Int64
-	shed      atomic.Int64
-	coalesced atomic.Int64
-	solves    atomic.Int64
+	cfg     Config
+	cache   *sessionCache
+	mux     *http.ServeMux
+	limiter *resilience.Limiter
+	breaker *resilience.Breaker
+	flight  resilience.Group[SolveResult]
+
+	// rec is the service-wide telemetry recorder: the serve-tier counters
+	// below live in its registry, every warm session records its per-class
+	// solve profiles into it, and the adaptive router reads those profiles
+	// back. Exported via Recorder, /v1/stats and /metrics.
+	rec       *telemetry.Recorder
+	requests  *telemetry.Counter
+	panics    *telemetry.Counter
+	shed      *telemetry.Counter
+	coalesced *telemetry.Counter
+	solves    *telemetry.Counter
 
 	// solveGate, when non-nil, runs on the singleflight leader right
 	// before the underlying session solve. Test seam for the chaos
@@ -101,13 +130,35 @@ func New(cfg Config) *Service {
 			MaxWaiting:    cfg.MaxQueue,
 		}),
 		breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+		rec:     telemetry.NewRecorder(),
 	}
+	// Resolve the hot-path counters once; registry lookups afterwards are
+	// read-locked map hits, but the request path shouldn't pay even that.
+	s.requests = s.rec.Counter("serve_requests_total")
+	s.panics = s.rec.Counter("serve_panics_total")
+	s.shed = s.rec.Counter("serve_shed_total")
+	s.coalesced = s.rec.Counter("serve_coalesced_total")
+	s.solves = s.rec.Counter("serve_solves_total")
 	s.mux.HandleFunc("POST /v1/solve", s.admit(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/solve/batch", s.admit(s.handleBatch))
 	s.mux.HandleFunc("POST /v1/remap/stream", s.admit(s.handleRemapStream))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// Recorder exposes the service-wide telemetry recorder: serve-tier
+// counters plus every warm session's per-class route latency profiles.
+// Useful for pre-seeding profiles in tests and for embedding the service
+// in a process that aggregates its own metrics.
+func (s *Service) Recorder() *repro.Recorder { return s.rec }
+
+// MetricsHandler returns the GET /metrics handler on its own, so callers
+// can mount the Prometheus exposition on a separate (e.g. private)
+// listener without exposing the solve API there.
+func (s *Service) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
 }
 
 // ServeHTTP implements http.Handler. Handler panics are recovered and
@@ -120,7 +171,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
+			s.panics.Inc()
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
 		}
 	}()
@@ -171,7 +222,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, evicted, size := s.cache.stats()
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		Requests:     s.requests.Load(),
 		CacheHits:    hits,
 		CacheMisses:  misses,
@@ -183,7 +234,47 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Solves:       s.solves.Load(),
 		BreakerState: s.breaker.State().String(),
 		BreakerTrips: s.breaker.Trips(),
-	})
+	}
+	for _, route := range telemetry.Routes() {
+		if n := s.rec.RouteSkips(route); n > 0 {
+			if st.RouteSkips == nil {
+				st.RouteSkips = make(map[string]int64)
+			}
+			st.RouteSkips[route.String()] = n
+		}
+	}
+	for _, snap := range s.rec.SolveStats() {
+		if st.Latency == nil {
+			st.Latency = make(map[string]map[string]RouteLatency)
+		}
+		class := snap.Class.String()
+		if st.Latency[class] == nil {
+			st.Latency[class] = make(map[string]RouteLatency)
+		}
+		st.Latency[class][snap.Route.String()] = RouteLatency{
+			Count:     snap.Count,
+			P50Millis: float64(snap.P50) / float64(time.Millisecond),
+			P95Millis: float64(snap.P95) / float64(time.Millisecond),
+			P99Millis: float64(snap.P99) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// syncGauges refreshes the registry gauges that mirror live state, so
+// both exposition paths (/v1/stats renders them via its own fields,
+// /metrics scrapes the registry) agree at read time.
+func (s *Service) syncGauges() {
+	_, _, _, size := s.cache.stats()
+	s.rec.Gauge("serve_cache_sessions").Set(int64(size))
+	s.rec.Gauge("serve_breaker_state").Set(int64(s.breaker.State()))
+	s.rec.Gauge("serve_breaker_trips").Set(s.breaker.Trips())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.syncGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.rec.WritePrometheus(w)
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -243,10 +334,32 @@ fanout:
 // exact-escalation circuit breaker degrades a train of budget-blown
 // searches to the heuristic route instead of letting them pile up.
 func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
-	s.requests.Add(1)
+	s.requests.Inc()
 	start := time.Now()
 	finish := func(res SolveResult) SolveResult {
-		res.ElapsedMillis = time.Since(start).Milliseconds()
+		elapsed := time.Since(start)
+		res.ElapsedMillis = elapsed.Milliseconds()
+		if logf := s.cfg.SolveLog; logf != nil {
+			entry := SolveLogEntry{
+				Objective: spec.Objective,
+				Route:     res.Route,
+				Method:    res.Method,
+				Certainty: res.Certainty,
+				Elapsed:   elapsed,
+				CacheHit:  res.CacheHit,
+				Coalesced: res.Coalesced,
+				Degraded:  res.Degraded,
+				Partial:   res.Partial,
+				Err:       res.Error,
+			}
+			if spec.Pipeline != nil {
+				entry.N = spec.Pipeline.NumStages()
+			}
+			if spec.Platform != nil {
+				entry.M = spec.Platform.NumProcs()
+			}
+			logf(entry)
+		}
 		return res
 	}
 	if spec.Pipeline == nil || spec.Platform == nil {
@@ -294,7 +407,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 	leaderRan := false
 	res, shared, err := s.flight.Do(ctx, flightKey, func() (SolveResult, error) {
 		leaderRan = true
-		s.solves.Add(1)
+		s.solves.Inc()
 		if gate := s.solveGate; gate != nil {
 			gate(spec)
 		}
@@ -317,6 +430,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 			FailureProb: r.Metrics.FailureProb,
 			Certainty:   r.Certainty.String(),
 			Method:      r.Method,
+			Route:       r.Route,
 			Partial:     r.Certainty == repro.Partial,
 			Degraded:    forced,
 		}, nil
@@ -334,7 +448,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 		}
 	}
 	if shared {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 	}
 	if err != nil {
 		// Only duplicates see errors here: their context died while
@@ -371,6 +485,11 @@ func (s *Service) session(spec SolveSpec) (*repro.Session, string, bool, error) 
 			repro.WithWorkers(spec.Workers),
 			repro.WithExactBudget(spec.ExactBudget),
 			repro.WithForceHeuristic(spec.ForceHeuristic),
+			// Every warm session shares the service recorder: solves feed
+			// the per-class route profiles, and the adaptive router reads
+			// them back to skip routes whose warm p95 cannot fit a
+			// request's remaining deadline budget.
+			repro.WithRecorder(s.rec),
 		}
 		if spec.Seed != 0 {
 			opts = append(opts, repro.WithSeed(spec.Seed))

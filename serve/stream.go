@@ -106,7 +106,7 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeRequest(w, r, "remap request", &spec) {
 		return
 	}
-	s.requests.Add(1)
+	s.requests.Inc()
 	if spec.Pipeline == nil || spec.Platform == nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "request needs both \"pipeline\" and \"platform\""})
 		return

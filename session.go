@@ -40,13 +40,15 @@ type Session struct {
 
 // sessionConfig carries the options applied at NewSession time.
 type sessionConfig struct {
-	workers        int
-	exactBudget    float64
-	deadline       time.Duration
-	seed           int64
-	anneal         AnnealConfig
-	annealSet      bool
-	forceHeuristic bool
+	workers         int
+	exactBudget     float64
+	deadline        time.Duration
+	seed            int64
+	anneal          AnnealConfig
+	annealSet       bool
+	forceHeuristic  bool
+	recorder        *Recorder
+	minRouteSamples int
 }
 
 // SessionOption is a functional option for NewSession.
@@ -93,6 +95,26 @@ func WithAnneal(cfg AnnealConfig) SessionOption {
 // on small instances (useful to bound tail latency under load).
 func WithForceHeuristic(force bool) SessionOption {
 	return func(c *sessionConfig) { c.forceHeuristic = force }
+}
+
+// WithRecorder attaches a telemetry recorder to every solve made through
+// the session: each call reports its route attempts, phase durations,
+// outcome and certainty, and — when the call's context carries a
+// deadline — the solver routes adaptively, skipping any route whose warm
+// per-class p95 latency cannot fit the remaining budget. A shared
+// recorder (e.g. one per serving process) accumulates the latency
+// profiles across sessions. Nil (the default) disables telemetry with
+// zero overhead.
+func WithRecorder(rec *Recorder) SessionOption {
+	return func(c *sessionConfig) { c.recorder = rec }
+}
+
+// WithMinRouteSamples overrides how many per-(class, route) samples the
+// adaptive router requires before trusting a latency profile (0 = the
+// default, see core.DefaultMinRouteSamples; negative disables adaptive
+// routing while keeping telemetry collection).
+func WithMinRouteSamples(n int) SessionOption {
+	return func(c *sessionConfig) { c.minRouteSamples = n }
 }
 
 // NewSession validates the instance, builds the cached evaluator state,
@@ -146,18 +168,20 @@ func (s *Session) callCtx(ctx context.Context) (context.Context, context.CancelF
 // coreOptions materializes the session configuration as solver options.
 func (s *Session) coreOptions() SolveOptions {
 	return SolveOptions{
-		ExactBudget:    s.cfg.exactBudget,
-		Workers:        s.cfg.workers,
-		Anneal:         s.cfg.anneal,
-		ForceHeuristic: s.cfg.forceHeuristic,
-		Eval:           s.ev,
+		ExactBudget:     s.cfg.exactBudget,
+		Workers:         s.cfg.workers,
+		Anneal:          s.cfg.anneal,
+		ForceHeuristic:  s.cfg.forceHeuristic,
+		Eval:            s.ev,
+		Recorder:        s.cfg.recorder,
+		MinRouteSamples: s.cfg.minRouteSamples,
 	}
 }
 
 // exactOptions materializes the session configuration for the exact /
 // throughput enumerations under ctx.
 func (s *Session) exactOptions(ctx context.Context) exact.Options {
-	return exact.Options{Workers: s.cfg.workers, Ctx: ctx, Eval: s.ev}
+	return exact.Options{Workers: s.cfg.workers, Ctx: ctx, Eval: s.ev, Recorder: s.cfg.recorder}
 }
 
 // SolveRequest states one bi-criteria query against the session's
@@ -228,7 +252,7 @@ func (s *Session) Bounds() (IntervalBounds, error) {
 func (s *Session) BeamSearchMinLatency(ctx context.Context, beamWidth int) (*Mapping, Metrics, error) {
 	ctx, cancel := s.callCtx(ctx)
 	defer cancel()
-	res, err := heuristics.BeamSearchMinLatency(ctx, &heuristics.Problem{Pipe: s.pipe, Plat: s.plat, Eval: s.ev}, beamWidth)
+	res, err := heuristics.BeamSearchMinLatency(ctx, &heuristics.Problem{Pipe: s.pipe, Plat: s.plat, Eval: s.ev, Recorder: s.cfg.recorder}, beamWidth)
 	if res.Mapping == nil {
 		return nil, Metrics{}, err
 	}

@@ -424,3 +424,32 @@ func TestSessionParetoCancelledBeforeAnyPoint(t *testing.T) {
 		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
 	}
 }
+
+// TestSessionWithRecorder: a session built with WithRecorder reports
+// every solve into the shared recorder, and Result.Route names the
+// route taken.
+func TestSessionWithRecorder(t *testing.T) {
+	pipe, plat := rampPipeline(t, 4), hetPlatform(t, 4)
+	rec := repro.NewRecorder()
+	s, err := repro.NewSession(pipe, plat, repro.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), repro.SolveRequest{
+		Objective:   repro.MinimizeLatency,
+		MaxFailProb: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route == "" {
+		t.Fatal("Result.Route is empty")
+	}
+	if got := rec.Counter("solve_total").Load(); got != 1 {
+		t.Fatalf("solve_total = %d, want 1", got)
+	}
+	stats := rec.SolveStats()
+	if len(stats) == 0 {
+		t.Fatal("recorder has no route profiles after a solve")
+	}
+}
