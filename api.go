@@ -10,6 +10,7 @@ import (
 	"context"
 	"math/rand"
 
+	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/frontier"
@@ -106,6 +107,11 @@ type (
 	TriFront = throughput.TriFront
 	// TriResult is a solved tri-criteria instance.
 	TriResult = throughput.TriResult
+	// CanonicalInstance is the canonical form of a (pipeline, platform)
+	// instance: relabeling-invariant bytes plus the permutation that
+	// translates mappings between the canonical and original processor
+	// ids (see CanonicalizeInstance).
+	CanonicalInstance = canon.Canonical
 )
 
 // NewRecorder returns an empty telemetry recorder ready to share across
@@ -159,7 +165,27 @@ var (
 	// ErrAllFailed: every processor is down; no valid mapping exists until
 	// a recovery arrives.
 	ErrAllFailed = remap.ErrAllFailed
+	// ErrCanonicalizeComplex: the platform's link symmetry exceeded the
+	// canonicalization search budget; solve with the raw labeling instead.
+	ErrCanonicalizeComplex = canon.ErrComplex
 )
+
+// CanonicalizeInstance computes the canonical form of an instance: two
+// instances whose platforms differ only by a processor relabeling get
+// byte-identical canonical forms (the paper's mapping problem is
+// invariant under such relabelings), which is what lets serving tiers
+// share cached solutions across structurally identical requests. The
+// returned permutation translates mappings back to the original ids.
+func CanonicalizeInstance(p *Pipeline, pl *Platform) (*CanonicalInstance, error) {
+	return canon.Canonicalize(p, pl)
+}
+
+// TranslateMapping returns a copy of m with every processor id u replaced
+// by procMap[u] (alloc sets re-sorted); use a CanonicalInstance's Perm or
+// Inv to move mappings between labelings.
+func TranslateMapping(m *Mapping, procMap []int) *Mapping {
+	return canon.TranslateMapping(m, procMap)
+}
 
 // ScriptedCrashes builds a deterministic schedule crashing the given
 // processors one after another (unit-spaced virtual times).

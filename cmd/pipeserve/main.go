@@ -28,6 +28,9 @@
 //
 //	-addr :8080           listen address
 //	-cache 128            warm-session LRU capacity
+//	-solcache 256         cross-request solution cache capacity: completed
+//	                      answers keyed by canonical (relabeling-invariant)
+//	                      instance hash (negative disables)
 //	-deadline 30s         default per-request deadline (when the request has none)
 //	-maxbatch 64          largest accepted batch
 //	-parallel 0           concurrent solves per batch (0 = GOMAXPROCS)
@@ -72,6 +75,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 128, "warm-session LRU capacity")
+	solCache := flag.Int("solcache", 256, "cross-request solution cache capacity (negative disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxBatch := flag.Int("maxbatch", 64, "largest accepted batch")
 	parallel := flag.Int("parallel", 0, "concurrent solves per batch (0 = GOMAXPROCS)")
@@ -87,18 +91,19 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
-		CacheSize:        *cache,
-		DefaultDeadline:  *deadline,
-		MaxBatch:         *maxBatch,
-		BatchParallelism: *parallel,
-		MaxBodyBytes:     *maxBody,
-		MaxConcurrent:    *maxConcurrent,
-		MaxQueue:         *maxQueue,
+		CacheSize:         *cache,
+		SolutionCacheSize: *solCache,
+		DefaultDeadline:   *deadline,
+		MaxBatch:          *maxBatch,
+		BatchParallelism:  *parallel,
+		MaxBodyBytes:      *maxBody,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
 	}
 	if *verbose {
 		cfg.SolveLog = func(e serve.SolveLogEntry) {
-			log.Printf("solve n=%d m=%d obj=%s route=%s certainty=%q elapsed=%s cacheHit=%t coalesced=%t degraded=%t partial=%t err=%q",
-				e.N, e.M, e.Objective, e.Route, e.Certainty, e.Elapsed, e.CacheHit, e.Coalesced, e.Degraded, e.Partial, e.Err)
+			log.Printf("solve n=%d m=%d obj=%s route=%s certainty=%q elapsed=%s cacheHit=%t coalesced=%t cached=%t degraded=%t partial=%t err=%q",
+				e.N, e.M, e.Objective, e.Route, e.Certainty, e.Elapsed, e.CacheHit, e.Coalesced, e.Cached, e.Degraded, e.Partial, e.Err)
 		}
 	}
 	svc := serve.New(cfg)

@@ -9,17 +9,28 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the walkthrough, writing the report to w. Split from main
+// so the example is smoke-testable: the test drives it end to end against
+// a buffer and checks the headline numbers.
+func run(w io.Writer) error {
 	// A compact 3-stage pipeline (preprocess / transform / encode).
 	pipe, err := repro.NewPipeline([]float64{20, 120, 30}, []float64{8, 6, 4, 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	plat, err := repro.NewCommHomogeneousPlatform(
 		[]float64{10, 10, 10, 10, 10, 2},
@@ -27,10 +38,10 @@ func main() {
 		4,
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("application:", pipe)
-	fmt.Println("platform:   ", plat)
+	fmt.Fprintln(w, "application:", pipe)
+	fmt.Fprintln(w, "platform:   ", plat)
 
 	// Reliability-only mapping from the bi-criteria solver.
 	res, err := repro.Solve(repro.Problem{
@@ -40,50 +51,51 @@ func main() {
 		MaxLatency: 40,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	period, err := repro.Period(pipe, plat, res.Mapping)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sustainable, _ := repro.PeriodSustainable(pipe, plat, res.Mapping)
 	noOverlap, _ := repro.PeriodNoOverlap(pipe, plat, res.Mapping)
-	fmt.Printf("\nreliability mapping: %s\n", res.Mapping)
-	fmt.Printf("latency %.4g, FP %.4g\n", res.Metrics.Latency, res.Metrics.FailureProb)
-	fmt.Printf("period: output %.4g, sustainable %.4g, no-overlap %.4g\n", period, sustainable, noOverlap)
+	fmt.Fprintf(w, "\nreliability mapping: %s\n", res.Mapping)
+	fmt.Fprintf(w, "latency %.4g, FP %.4g\n", res.Metrics.Latency, res.Metrics.FailureProb)
+	fmt.Fprintf(w, "period: output %.4g, sustainable %.4g, no-overlap %.4g\n", period, sustainable, noOverlap)
 
 	// Validate the analytic period on the simulator: stream 64 data sets
 	// and measure the inter-completion gap.
 	const d = 64
 	simRes, err := repro.Simulate(pipe, plat, res.Mapping, repro.SimConfig{Mode: repro.WorstCase, NumDataSets: d})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gap := simRes.DatasetLatencies[d-1] - simRes.DatasetLatencies[d-2]
-	fmt.Printf("simulated steady-state gap: %.4g (analytic %.4g)\n", gap, period)
+	fmt.Fprintf(w, "simulated steady-state gap: %.4g (analytic %.4g)\n", gap, period)
 
 	// Round-robin: split bottleneck groups while FP stays under 0.5.
 	rr, err := repro.GreedyRoundRobin(pipe, plat, res.Mapping, math.Inf(1), 0.5)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nround-robin mapping: %s\n", rr.Mapping)
-	fmt.Printf("period %.4g (was %.4g), FP %.4g (was %.4g), latency %.4g\n",
+	fmt.Fprintf(w, "\nround-robin mapping: %s\n", rr.Mapping)
+	fmt.Fprintf(w, "period %.4g (was %.4g), FP %.4g (was %.4g), latency %.4g\n",
 		rr.Metrics.Period, period, rr.Metrics.FailureProb, res.Metrics.FailureProb, rr.Metrics.Latency)
 
 	// The exhaustive three-criteria front on this small instance.
 	front, err := repro.TriParetoFront(pipe, plat)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nthree-criteria Pareto front (%d points, first 12 by latency):\n", front.Len())
-	fmt.Printf("%-10s %-12s %-10s %s\n", "latency", "failureProb", "period", "mapping")
+	fmt.Fprintf(w, "\nthree-criteria Pareto front (%d points, first 12 by latency):\n", front.Len())
+	fmt.Fprintf(w, "%-10s %-12s %-10s %s\n", "latency", "failureProb", "period", "mapping")
 	for i, e := range front.Entries() {
 		if i == 12 {
-			fmt.Println("  ...")
+			fmt.Fprintln(w, "  ...")
 			break
 		}
-		fmt.Printf("%-10.5g %-12.5g %-10.5g %s\n",
+		fmt.Fprintf(w, "%-10.5g %-12.5g %-10.5g %s\n",
 			e.Metrics.Latency, e.Metrics.FailureProb, e.Metrics.Period, e.Mapping)
 	}
+	return nil
 }

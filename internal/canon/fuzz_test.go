@@ -1,0 +1,198 @@
+package canon
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// Fuzzed instances draw every value from small alphabets (containing the
+// Figure 5 and E14 values) so the fuzzer constantly produces the exact
+// ties — equal speeds, equal failure probabilities, repeated bandwidths —
+// that stress the refinement and branching machinery. Continuous random
+// values would almost never tie and would only ever exercise the easy
+// path.
+var (
+	fuzzW  = []float64{0, 1, 5, 100}
+	fuzzD  = []float64{0, 1, 4, 6, 10}
+	fuzzS  = []float64{0.5, 1, 2, 100}
+	fuzzFP = []float64{0, 0.1, 0.3, 0.5, 0.8, 1}
+	fuzzB  = []float64{1, 2, 5}
+)
+
+// decodeFuzzInstance deterministically maps raw fuzz bytes to a valid
+// small instance: a shape byte picks collapsed-vs-heterogeneous links,
+// then successive bytes index the value alphabets (cursor wraps, so any
+// input length decodes).
+func decodeFuzzInstance(data []byte) (*pipeline.Pipeline, *platform.Platform) {
+	pos := 0
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := int(data[pos%len(data)])
+		pos++
+		return b
+	}
+	shape := next()
+	n := 1 + next()%4
+	m := 1 + next()%12
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = fuzzW[next()%len(fuzzW)]
+	}
+	d := make([]float64, n+1)
+	for i := range d {
+		d[i] = fuzzD[next()%len(fuzzD)]
+	}
+	p := pipeline.MustNew(w, d)
+	speeds := make([]float64, m)
+	fps := make([]float64, m)
+	for u := 0; u < m; u++ {
+		speeds[u] = fuzzS[next()%len(fuzzS)]
+		fps[u] = fuzzFP[next()%len(fuzzFP)]
+	}
+	if shape&1 == 0 {
+		pl, err := platform.NewCommHomogeneous(speeds, fps, fuzzB[next()%len(fuzzB)])
+		if err != nil {
+			panic(err)
+		}
+		return p, pl
+	}
+	bIn := make([]float64, m)
+	bOut := make([]float64, m)
+	b := make([][]float64, m)
+	for u := 0; u < m; u++ {
+		bIn[u] = fuzzB[next()%len(fuzzB)]
+		bOut[u] = fuzzB[next()%len(fuzzB)]
+		b[u] = make([]float64, m)
+		for v := 0; v < m; v++ {
+			if u != v {
+				b[u][v] = fuzzB[next()%len(fuzzB)]
+			}
+		}
+	}
+	pl, err := platform.NewFullyHeterogeneous(speeds, fps, b, bIn, bOut)
+	if err != nil {
+		panic(err)
+	}
+	return p, pl
+}
+
+// seedBytes assembles a fuzz input that decodes to the given instance
+// values (all of which must be alphabet members).
+func seedBytes(shape, n, m int, w, d, speeds, fps []float64, links ...float64) []byte {
+	idx := func(tab []float64, x float64) byte {
+		for i, v := range tab {
+			if v == x {
+				return byte(i)
+			}
+		}
+		panic("seed value not in alphabet")
+	}
+	out := []byte{byte(shape), byte(n - 1), byte(m - 1)}
+	for _, x := range w {
+		out = append(out, idx(fuzzW, x))
+	}
+	for _, x := range d {
+		out = append(out, idx(fuzzD, x))
+	}
+	for i := 0; i < m; i++ {
+		out = append(out, idx(fuzzS, speeds[i]), idx(fuzzFP, fps[i]))
+	}
+	for _, x := range links {
+		out = append(out, idx(fuzzB, x))
+	}
+	return out
+}
+
+func FuzzCanonicalize(f *testing.F) {
+	// Figure 5 of the paper: the 2-stage pipeline on the 11-processor
+	// CommHom platform (one fast unreliable-free processor, ten slow
+	// unreliable ones).
+	fig5Speeds := append([]float64{1}, repeat(100, 10)...)
+	fig5FPs := append([]float64{0.1}, repeat(0.8, 10)...)
+	f.Add(seedBytes(0, 2, 11, []float64{1, 100}, []float64{10, 1, 0}, fig5Speeds, fig5FPs, 1), uint64(1))
+	// E14 of the simulation campaign: uniform 2-stage pipeline on the
+	// 8-processor fully homogeneous platform.
+	f.Add(seedBytes(0, 2, 8, []float64{5, 5}, []float64{4, 6, 4}, repeat(2, 8), repeat(0.3, 8), 2), uint64(7))
+	// Heterogeneous all-ties: every alphabet byte 0 with the het shape
+	// bit, so all processors are twins.
+	f.Add(bytes.Repeat([]byte{1}, 40), uint64(3))
+	// Interleaved bytes provoke circulant-like symmetric link matrices.
+	f.Add(bytes.Repeat([]byte{1, 0, 2, 0, 1, 2}, 30), uint64(11))
+
+	f.Fuzz(func(t *testing.T, data []byte, permSeed uint64) {
+		p, pl := decodeFuzzInstance(data)
+		m := pl.NumProcs()
+		cn, err := Canonicalize(p, pl)
+		if errors.Is(err, ErrComplex) {
+			t.Skip("symmetry past the refinement budget")
+		}
+		if err != nil {
+			t.Fatalf("canonicalize valid instance: %v", err)
+		}
+		// Perm must be a bijection consistent with Inv.
+		seen := make([]bool, m)
+		for i, u := range cn.Perm {
+			if u < 0 || u >= m || seen[u] {
+				t.Fatalf("Perm not a bijection: %v", cn.Perm)
+			}
+			seen[u] = true
+			if cn.Inv[u] != i {
+				t.Fatalf("Inv inconsistent with Perm at %d", i)
+			}
+		}
+		// Canonicalize(permuted instance) must be byte-identical. The
+		// search-tree shape is label-invariant, so the permuted run cannot
+		// hit the budget when the original did not.
+		perm := rand.New(rand.NewSource(int64(permSeed))).Perm(m)
+		cn2, err := Canonicalize(p, pl.Permute(perm))
+		if err != nil {
+			t.Fatalf("canonicalize permuted instance: %v", err)
+		}
+		if !bytes.Equal(cn.Bytes, cn2.Bytes) {
+			t.Fatalf("canonical bytes differ under relabeling %v", perm)
+		}
+		// Idempotence: the canonical platform canonicalizes to itself.
+		again, err := Canonicalize(p, cn.Platform())
+		if err != nil {
+			t.Fatalf("re-canonicalize: %v", err)
+		}
+		if !bytes.Equal(cn.Bytes, again.Bytes) {
+			t.Fatal("canonical form not idempotent")
+		}
+		if !again.IsIdentity() {
+			t.Fatal("canonical platform did not canonicalize to the identity")
+		}
+		// Translation round trip on the all-processors single interval.
+		one := mapping.NewSingleInterval(p.NumStages(), seq(m))
+		back := cn.ToOriginal(cn.ToCanonical(one))
+		for i, u := range back.Alloc[0] {
+			if u != i {
+				t.Fatalf("translation round trip broke the identity alloc: %v", back.Alloc[0])
+			}
+		}
+	})
+}
+
+func repeat(x float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+func seq(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestAppendCanonicalBytesLayout(t *testing.T) {
+	p := MustNew([]float64{1, 100}, []float64{10, 1, 0})
+	got := p.AppendCanonicalBytes(nil)
+	want := binary.AppendUvarint(nil, 2)
+	for _, x := range []float64{1, 100, 10, 1, 0} {
+		want = binary.BigEndian.AppendUint64(want, math.Float64bits(x))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestAppendCanonicalBytesAppends(t *testing.T) {
+	p := Uniform(3, 2, 1)
+	prefix := []byte{0xde, 0xad}
+	got := p.AppendCanonicalBytes(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(got, prefix) {
+		t.Fatal("existing dst bytes not preserved")
+	}
+	if !bytes.Equal(got[len(prefix):], p.AppendCanonicalBytes(nil)) {
+		t.Fatal("appended bytes differ from fresh encoding")
+	}
+}
+
+func TestAppendCanonicalBytesInjective(t *testing.T) {
+	// Pairs that agree on total work / concatenated values but differ
+	// structurally must encode differently.
+	pairs := [][2]*Pipeline{
+		{MustNew([]float64{1, 2}, []float64{0, 0, 0}), MustNew([]float64{2, 1}, []float64{0, 0, 0})},
+		{MustNew([]float64{3}, []float64{1, 2}), MustNew([]float64{3}, []float64{2, 1})},
+		{MustNew([]float64{1, 2}, []float64{3, 4, 5}), MustNew([]float64{1}, []float64{2, 3})},
+		{MustNew([]float64{0}, []float64{0, 0}), MustNew([]float64{0, 0}, []float64{0, 0, 0})},
+	}
+	for i, pair := range pairs {
+		a := pair[0].AppendCanonicalBytes(nil)
+		b := pair[1].AppendCanonicalBytes(nil)
+		if bytes.Equal(a, b) {
+			t.Errorf("pair %d: distinct pipelines encoded identically", i)
+		}
+	}
+	// And Equal pipelines must encode identically.
+	p := MustNew([]float64{5, 5}, []float64{4, 6, 4})
+	q := MustNew([]float64{5, 5}, []float64{4, 6, 4})
+	if !bytes.Equal(p.AppendCanonicalBytes(nil), q.AppendCanonicalBytes(nil)) {
+		t.Fatal("equal pipelines encoded differently")
+	}
+}

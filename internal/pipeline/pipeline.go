@@ -14,8 +14,10 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 )
@@ -155,6 +157,26 @@ func (p *Pipeline) Equal(q *Pipeline) bool {
 		}
 	}
 	return true
+}
+
+// AppendCanonicalBytes appends a deterministic byte encoding of the
+// pipeline to dst and returns the extended slice: uvarint(n) followed by
+// every W then every Delta value as the big-endian IEEE-754 bit pattern.
+// Bit patterns (rather than a decimal rendering) make the encoding
+// injective on the float values a validated pipeline can hold: Validate
+// rejects NaN, and the remaining finite non-negative floats map
+// one-to-one onto their bit patterns. Two pipelines produce equal bytes
+// exactly when Equal reports true, which is what lets the canon package
+// hash (pipeline, platform) instances structurally.
+func (p *Pipeline) AppendCanonicalBytes(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.W)))
+	for _, w := range p.W {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(w))
+	}
+	for _, d := range p.Delta {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d))
+	}
+	return dst
 }
 
 // String renders the pipeline in the paper's figure-1 style:

@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermuteRelabels(t *testing.T) {
+	pl, err := NewFullyHeterogeneous(
+		[]float64{1, 2, 3},
+		[]float64{0.1, 0.2, 0.3},
+		[][]float64{
+			{0, 12, 13},
+			{21, 0, 23},
+			{31, 32, 0},
+		},
+		[]float64{101, 102, 103},
+		[]float64{201, 202, 203},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{2, 0, 1} // new id -> old id
+	got := pl.Permute(perm)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("permuted platform invalid: %v", err)
+	}
+	for i, u := range perm {
+		if got.Speed[i] != pl.Speed[u] || got.FailProb[i] != pl.FailProb[u] ||
+			got.BIn[i] != pl.BIn[u] || got.BOut[i] != pl.BOut[u] {
+			t.Fatalf("per-proc attrs not carried for new id %d (old %d)", i, u)
+		}
+		for j, v := range perm {
+			want := pl.B[u][v]
+			if i == j {
+				want = 0
+			}
+			if got.B[i][j] != want {
+				t.Fatalf("B[%d][%d]=%v, want %v", i, j, got.B[i][j], want)
+			}
+		}
+	}
+	// The original must be untouched (deep copy).
+	if pl.B[0][1] != 12 || pl.Speed[0] != 1 {
+		t.Fatal("Permute mutated the receiver")
+	}
+}
+
+func TestPermuteIdentityEqualsClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := RandomFullyHeterogeneous(rng, 6, 1, 10, 0, 1, 1, 5)
+	id := []int{0, 1, 2, 3, 4, 5}
+	got := pl.Permute(id)
+	for u := 0; u < 6; u++ {
+		if got.Speed[u] != pl.Speed[u] || got.FailProb[u] != pl.FailProb[u] {
+			t.Fatalf("identity permute changed processor %d", u)
+		}
+		for v := 0; v < 6; v++ {
+			if u != v && got.B[u][v] != pl.B[u][v] {
+				t.Fatalf("identity permute changed B[%d][%d]", u, v)
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pl := RandomFullyHeterogeneous(rng, 8, 1, 10, 0, 1, 1, 5)
+	perm := rng.Perm(8)
+	inv := make([]int, 8)
+	for i, u := range perm {
+		inv[u] = i
+	}
+	back := pl.Permute(perm).Permute(inv)
+	for u := 0; u < 8; u++ {
+		if back.Speed[u] != pl.Speed[u] || back.FailProb[u] != pl.FailProb[u] ||
+			back.BIn[u] != pl.BIn[u] || back.BOut[u] != pl.BOut[u] {
+			t.Fatalf("round trip changed processor %d", u)
+		}
+		for v := 0; v < 8; v++ {
+			if u != v && back.B[u][v] != pl.B[u][v] {
+				t.Fatalf("round trip changed B[%d][%d]", u, v)
+			}
+		}
+	}
+}
+
+func TestPermutePanicsOnInvalid(t *testing.T) {
+	pl, err := NewFullyHomogeneous(3, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, perm := range [][]int{
+		{0, 1},          // wrong length
+		{0, 1, 1},       // duplicate
+		{0, 1, 3},       // out of range
+		{-1, 1, 2},      // negative
+		{0, 1, 2, 3, 4}, // too long
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Permute(%v) did not panic", perm)
+				}
+			}()
+			pl.Permute(perm)
+		}()
+	}
+}

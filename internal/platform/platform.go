@@ -209,6 +209,48 @@ func (pl *Platform) Clone() *Platform {
 	return cp
 }
 
+// Permute returns a relabeled deep copy: processor i of the result is
+// processor perm[i] of the receiver (perm maps new id -> old id), with
+// link bandwidths carried along (B'[i][j] = B[perm[i]][perm[j]]).
+// Diagonal entries of the result are normalized to 0 — the model ignores
+// them, and a canonical relabeling must not leak whatever garbage the
+// original diagonal held. It panics when perm is not a permutation of
+// 0..m-1; callers (the canon package, tests) construct perms
+// programmatically, so a bad one is a bug, not an input error.
+func (pl *Platform) Permute(perm []int) *Platform {
+	m := pl.NumProcs()
+	if len(perm) != m {
+		panic(fmt.Sprintf("platform: Permute with %d indices, want %d", len(perm), m))
+	}
+	seen := make([]bool, m)
+	for _, u := range perm {
+		if u < 0 || u >= m || seen[u] {
+			panic(fmt.Sprintf("platform: Permute with invalid permutation %v", perm))
+		}
+		seen[u] = true
+	}
+	cp := &Platform{
+		Speed:    make([]float64, m),
+		FailProb: make([]float64, m),
+		B:        make([][]float64, m),
+		BIn:      make([]float64, m),
+		BOut:     make([]float64, m),
+	}
+	for i, u := range perm {
+		cp.Speed[i] = pl.Speed[u]
+		cp.FailProb[i] = pl.FailProb[u]
+		cp.BIn[i] = pl.BIn[u]
+		cp.BOut[i] = pl.BOut[u]
+		cp.B[i] = make([]float64, m)
+		for j, v := range perm {
+			if i != j {
+				cp.B[i][j] = pl.B[u][v]
+			}
+		}
+	}
+	return cp
+}
+
 // String summarises the platform ("m=3 Communication Homogeneous, Failure
 // Heterogeneous").
 func (pl *Platform) String() string {

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# bench.sh — run the root benchmark suite and record the results as JSON,
+# bench.sh — run the benchmark suite (root package + ./serve) and record
+# the results as JSON,
 # extending the repository's performance trajectory. Each run writes
 # BENCH_<date>.json (go test -bench -json stream) next to this script's
 # repo root; pass a benchmark regex to restrict the run, e.g.
@@ -126,7 +127,7 @@ OUT="BENCH_$(date +%Y%m%d_%H%M%S).json"
 
 echo "benchmarking '${PATTERN}' (benchtime=${BENCHTIME}, count=${COUNT}) -> ${OUT}" >&2
 go test -run '^$' -bench "${PATTERN}" -benchmem \
-    -benchtime "${BENCHTIME}" -count "${COUNT}" -json . > "${OUT}"
+    -benchtime "${BENCHTIME}" -count "${COUNT}" -json . ./serve > "${OUT}"
 
 # Human summary.
 extract_lines "${OUT}"

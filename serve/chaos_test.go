@@ -223,9 +223,13 @@ func TestChaosCampaign(t *testing.T) {
 	if got, want := stats.Shed, shed429.Load()+shed503.Load(); got != want {
 		t.Errorf("stats.Shed = %d, client observed %d sheds", got, want)
 	}
-	if got, want := stats.Solves+stats.Coalesced, solveItems.Load(); got != want {
-		t.Errorf("stats.Solves+Coalesced = %d+%d = %d, client received %d solve results",
-			stats.Solves, stats.Coalesced, stats.Solves+stats.Coalesced, want)
+	if got, want := stats.Solves+stats.Coalesced+stats.SolutionHits, solveItems.Load(); got != want {
+		t.Errorf("stats.Solves+Coalesced+SolutionHits = %d+%d+%d = %d, client received %d solve results",
+			stats.Solves, stats.Coalesced, stats.SolutionHits, got, want)
+	}
+	if got, want := stats.SolutionHits+stats.SolutionMisses, stats.Solves+stats.SolutionHits; got != want {
+		t.Errorf("solution lookups = %d+%d = %d, want %d (every leader looks up exactly once)",
+			stats.SolutionHits, stats.SolutionMisses, got, want)
 	}
 	if got, want := stats.Requests, solveItems.Load()+streams200.Load(); got != want {
 		t.Errorf("stats.Requests = %d, want %d (solve items + streams)", got, want)

@@ -4,6 +4,14 @@
 // Sessions keyed by instance hash so repeated traffic against the same
 // (pipeline, platform) pair skips the evaluator precomputation.
 //
+// Both the warm-session LRU and the cross-request solution cache key on
+// the instance's canonical form (internal/canon): the mapping problem is
+// invariant under processor relabeling, so two requests that differ only
+// by a permutation of the platform's processors share one warm session,
+// coalesce onto one in-flight solve, and reuse one completed answer —
+// translated into each requester's own processor ids on the way out
+// (SolveResult.Cached marks a solution-cache answer).
+//
 // Endpoints (see Service):
 //
 //	POST /v1/solve         one SolveSpec  -> one SolveResult
@@ -99,6 +107,12 @@ type SolveResult struct {
 	// Coalesced is true when this answer was shared from an identical
 	// concurrent solve rather than computed independently.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached is true when this answer was served from the cross-request
+	// solution cache: a previously completed solve of the same canonical
+	// instance — any processor labeling — under the same objective,
+	// bounds and tuning. The mapping is translated into this request's
+	// processor ids before the response is written.
+	Cached bool `json:"cached,omitempty"`
 	// Degraded is true when the circuit breaker forced the heuristic
 	// route because exact escalation recently blew its budget; retry
 	// later for a potentially exact answer.
@@ -137,6 +151,16 @@ type Stats struct {
 	Solves       int64  `json:"solves"`       // underlying solver invocations (requests - coalesced - errors)
 	BreakerState string `json:"breakerState"` // exact-escalation breaker: "closed", "open" or "half-open"
 	BreakerTrips int64  `json:"breakerTrips"` // times the breaker tripped open
+
+	// Cross-request solution-cache counters: completed answers keyed by
+	// the canonical (relabeling-invariant) instance hash and reused
+	// across requests, with mappings translated into each requester's
+	// processor labeling.
+	SolutionHits    int64 `json:"solutionHits"`    // answers served from the solution cache
+	SolutionMisses  int64 `json:"solutionMisses"`  // leader solves that found no stored answer
+	SolutionSize    int   `json:"solutionSize"`    // answers currently stored
+	SolutionEvicted int64 `json:"solutionEvicted"` // answers evicted by the LRU
+	Translations    int64 `json:"translations"`    // mappings relabeled through a non-identity permutation
 
 	// RouteSkips counts, per route, the adaptive router's decisions to
 	// skip a route whose warm p95 latency did not fit the request's

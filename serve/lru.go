@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
+	"math"
 	"sync"
 
 	"repro"
@@ -32,6 +34,40 @@ func sessionKey(p *pipeline.Pipeline, pl *platform.Platform, workers int, budget
 	}
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalSessionKey derives the warm-session cache key from the
+// instance's canonical encoding: every processor relabeling of one
+// platform hashes identically, so permuted variants of the same request
+// warm (and reuse) a single session. The session-level options are mixed
+// in because they shape session construction exactly as in sessionKey.
+// The domain prefix keeps the canonical and raw-JSON key spaces disjoint
+// in the shared session cache.
+func canonicalSessionKey(canonBytes []byte, workers int, budget float64, force bool, seed int64) string {
+	h := sha256.New()
+	h.Write([]byte("canon-session\x00"))
+	h.Write(canonBytes)
+	fmt.Fprintf(h, "|%d|%x|%t|%d", workers, math.Float64bits(budget), force, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// solutionKey derives the cross-request solution cache key: the
+// canonical session key (which already digests the canonical instance
+// bytes and the session-level tuning) plus everything else that shapes
+// the answer — objective, the bi-criteria bounds, and the deadline (the
+// adaptive router steers by it, so different deadlines may legitimately
+// produce different complete answers). Relabeled copies of one request
+// therefore hash to the same key and share one stored answer. Building
+// on the session key avoids a second SHA-256 pass over the O(m²)
+// canonical bytes on the request path.
+func solutionKey(canonSessionKey string, objective repro.Objective, spec SolveSpec) string {
+	h := sha256.New()
+	h.Write([]byte("solution\x00"))
+	h.Write([]byte(canonSessionKey))
+	fmt.Fprintf(h, "|%d|%x|%x|%d",
+		objective, math.Float64bits(spec.MaxLatency), math.Float64bits(spec.MaxFailProb),
+		spec.DeadlineMillis)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // sessionCache is a mutex-guarded LRU of warm sessions. Hits move the
@@ -133,4 +169,70 @@ func (c *sessionCache) stats() (hits, misses, evicted int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evicted, c.ll.Len()
+}
+
+// solutionCache is a mutex-guarded LRU of completed solve answers keyed
+// by solutionKey. Stored results carry canonical-labeled mappings; the
+// serve layer translates them into each requester's processor ids on the
+// way out, so one stored answer serves every relabeling of its instance.
+// Lookups happen inside the singleflight leader, so hit/miss counting
+// lives with the caller; the cache itself only tracks size and eviction.
+type solutionCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	items   map[string]*list.Element
+	evicted int64
+}
+
+type solutionEntry struct {
+	key string
+	res SolveResult
+}
+
+func newSolutionCache(capacity int) *solutionCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &solutionCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the stored answer for key, refreshing its LRU position.
+func (c *solutionCache) get(key string) (SolveResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*solutionEntry).res, true
+	}
+	return SolveResult{}, false
+}
+
+// put stores (or refreshes) an answer and evicts past capacity.
+func (c *solutionCache) put(key string, res SolveResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*solutionEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&solutionEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*solutionEntry).key)
+		c.evicted++
+	}
+}
+
+// stats snapshots the solution-cache counters.
+func (c *solutionCache) stats() (evicted int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted, c.ll.Len()
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/workload"
 )
 
@@ -95,12 +96,15 @@ func TestCoalescedSolvesShareOneSolve(t *testing.T) {
 	srv := httptest.NewServer(svc)
 	defer srv.Close()
 
-	// Reconstruct the flight key solveOne derives for the fig5 request.
+	// Reconstruct the flight key solveOne derives for the fig5 request:
+	// the session key is canonical now, so relabeled copies of fig5 would
+	// land on this same flight.
 	p, pl := workload.Fig5()
-	key, err := sessionKey(p, pl, 0, 0, false, 0)
+	cn, err := repro.CanonicalizeInstance(p, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
+	key := canonicalSessionKey(cn.Bytes, 0, 0, false, 0)
 	objective, err := parseObjective("minFailureProb")
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,10 @@ import (
 type Config struct {
 	// CacheSize caps the warm-session LRU (default 128).
 	CacheSize int
+	// SolutionCacheSize caps the cross-request solution cache — completed
+	// answers keyed by canonical instance hash, reused across processor
+	// relabelings (default 256; negative disables the cache).
+	SolutionCacheSize int
 	// DefaultDeadline bounds requests that carry no deadlineMillis of
 	// their own (default 30s; negative disables the default).
 	DefaultDeadline time.Duration
@@ -56,9 +60,9 @@ type SolveLogEntry struct {
 	Route, Method, Certainty string
 	// Elapsed is the server-side solve time.
 	Elapsed time.Duration
-	// CacheHit, Coalesced, Degraded and Partial mirror the SolveResult
-	// flags.
-	CacheHit, Coalesced, Degraded, Partial bool
+	// CacheHit, Coalesced, Cached, Degraded and Partial mirror the
+	// SolveResult flags.
+	CacheHit, Coalesced, Cached, Degraded, Partial bool
 	// Err carries the in-band solver error, if any.
 	Err string
 }
@@ -66,6 +70,9 @@ type SolveLogEntry struct {
 func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
+	}
+	if c.SolutionCacheSize == 0 {
+		c.SolutionCacheSize = 256
 	}
 	if c.DefaultDeadline == 0 {
 		c.DefaultDeadline = 30 * time.Second
@@ -98,16 +105,25 @@ type Service struct {
 	breaker *resilience.Breaker
 	flight  resilience.Group[SolveResult]
 
+	// solutions is the cross-request solution cache (nil when disabled):
+	// completed answers keyed by canonical instance hash, looked up by
+	// the singleflight leader and translated into each requester's
+	// processor labeling at the response boundary.
+	solutions *solutionCache
+
 	// rec is the service-wide telemetry recorder: the serve-tier counters
 	// below live in its registry, every warm session records its per-class
 	// solve profiles into it, and the adaptive router reads those profiles
 	// back. Exported via Recorder, /v1/stats and /metrics.
-	rec       *telemetry.Recorder
-	requests  *telemetry.Counter
-	panics    *telemetry.Counter
-	shed      *telemetry.Counter
-	coalesced *telemetry.Counter
-	solves    *telemetry.Counter
+	rec            *telemetry.Recorder
+	requests       *telemetry.Counter
+	panics         *telemetry.Counter
+	shed           *telemetry.Counter
+	coalesced      *telemetry.Counter
+	solves         *telemetry.Counter
+	solutionHits   *telemetry.Counter
+	solutionMisses *telemetry.Counter
+	translations   *telemetry.Counter
 
 	// solveGate, when non-nil, runs on the singleflight leader right
 	// before the underlying session solve. Test seam for the chaos
@@ -132,6 +148,9 @@ func New(cfg Config) *Service {
 		breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
 		rec:     telemetry.NewRecorder(),
 	}
+	if cfg.SolutionCacheSize > 0 {
+		s.solutions = newSolutionCache(cfg.SolutionCacheSize)
+	}
 	// Resolve the hot-path counters once; registry lookups afterwards are
 	// read-locked map hits, but the request path shouldn't pay even that.
 	s.requests = s.rec.Counter("serve_requests_total")
@@ -139,6 +158,9 @@ func New(cfg Config) *Service {
 	s.shed = s.rec.Counter("serve_shed_total")
 	s.coalesced = s.rec.Counter("serve_coalesced_total")
 	s.solves = s.rec.Counter("serve_solves_total")
+	s.solutionHits = s.rec.Counter("serve_solution_hits_total")
+	s.solutionMisses = s.rec.Counter("serve_solution_misses_total")
+	s.translations = s.rec.Counter("serve_translations_total")
 	s.mux.HandleFunc("POST /v1/solve", s.admit(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/solve/batch", s.admit(s.handleBatch))
 	s.mux.HandleFunc("POST /v1/remap/stream", s.admit(s.handleRemapStream))
@@ -234,6 +256,13 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Solves:       s.solves.Load(),
 		BreakerState: s.breaker.State().String(),
 		BreakerTrips: s.breaker.Trips(),
+
+		SolutionHits:   s.solutionHits.Load(),
+		SolutionMisses: s.solutionMisses.Load(),
+		Translations:   s.translations.Load(),
+	}
+	if s.solutions != nil {
+		st.SolutionEvicted, st.SolutionSize = s.solutions.stats()
 	}
 	for _, route := range telemetry.Routes() {
 		if n := s.rec.RouteSkips(route); n > 0 {
@@ -269,6 +298,10 @@ func (s *Service) syncGauges() {
 	s.rec.Gauge("serve_cache_sessions").Set(int64(size))
 	s.rec.Gauge("serve_breaker_state").Set(int64(s.breaker.State()))
 	s.rec.Gauge("serve_breaker_trips").Set(s.breaker.Trips())
+	if s.solutions != nil {
+		_, solSize := s.solutions.stats()
+		s.rec.Gauge("serve_solution_cache_size").Set(int64(solSize))
+	}
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -348,6 +381,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 				Elapsed:   elapsed,
 				CacheHit:  res.CacheHit,
 				Coalesced: res.Coalesced,
+				Cached:    res.Cached,
 				Degraded:  res.Degraded,
 				Partial:   res.Partial,
 				Err:       res.Error,
@@ -370,9 +404,29 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 		return finish(SolveResult{Error: err.Error()})
 	}
 
-	sess, key, hit, err := s.session(spec)
+	// Canonicalize the instance so every processor relabeling of one
+	// platform collapses onto one warm session, one in-flight solve and
+	// one stored answer. Canonicalization failures (invalid instances,
+	// pathological symmetry past the refinement budget) fall back to the
+	// raw-labeled path: invalid instances then fail session construction
+	// with their original diagnostics, and valid-but-too-symmetric ones
+	// are still solved — just without cross-relabeling sharing.
+	var cn *repro.CanonicalInstance
+	if c, cerr := repro.CanonicalizeInstance(spec.Pipeline, spec.Platform); cerr == nil {
+		cn = c
+	}
+
+	sess, key, hit, err := s.session(spec, cn)
 	if err != nil {
 		return finish(SolveResult{Error: err.Error()})
+	}
+
+	// The solution-cache key covers everything that shapes the answer;
+	// empty means this request bypasses the cache (disabled, or no
+	// canonical form). key is the canonical session key here (cn != nil).
+	solKey := ""
+	if cn != nil && s.solutions != nil {
+		solKey = solutionKey(key, objective, spec)
 	}
 
 	deadline := s.cfg.DefaultDeadline
@@ -404,9 +458,21 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 	// result.
 	flightKey := fmt.Sprintf("%s|%d|%g|%g|%d|%t",
 		key, objective, spec.MaxLatency, spec.MaxFailProb, spec.DeadlineMillis, forced)
-	leaderRan := false
+	leaderSolved := false
 	res, shared, err := s.flight.Do(ctx, flightKey, func() (SolveResult, error) {
-		leaderRan = true
+		// Cross-request solution cache, checked by the flight leader:
+		// a hit still coalesces its concurrent duplicates, and a miss
+		// leaves no stampede window between lookup and solve — exactly
+		// one solver run per canonical key.
+		if solKey != "" {
+			if out, ok := s.solutions.get(solKey); ok {
+				s.solutionHits.Inc()
+				out.Cached = true
+				return out, nil
+			}
+			s.solutionMisses.Inc()
+		}
+		leaderSolved = true
 		s.solves.Inc()
 		if gate := s.solveGate; gate != nil {
 			gate(spec)
@@ -424,7 +490,7 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 			}
 			return out, nil
 		}
-		return SolveResult{
+		out := SolveResult{
 			Mapping:     r.Mapping,
 			Latency:     r.Metrics.Latency,
 			FailureProb: r.Metrics.FailureProb,
@@ -433,17 +499,25 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 			Route:       r.Route,
 			Partial:     r.Certainty == repro.Partial,
 			Degraded:    forced,
-		}, nil
+		}
+		// Only completed, undegraded answers are worth reusing across
+		// requests: partial and breaker-forced ones reflect transient
+		// load, not the instance. The stored mapping stays in canonical
+		// labels; translation happens per request below.
+		if solKey != "" && !out.Partial && !forced {
+			s.solutions.put(solKey, out)
+		}
+		return out, nil
 	})
 	if probing {
-		if leaderRan {
+		if leaderSolved {
 			// A partial answer means the deadline fired mid-search — the
 			// overload signal the breaker counts. In-band solver errors
 			// (infeasibility, …) are instance properties, not overload.
 			s.breaker.Record(token, err == nil && !res.Partial)
 		} else {
-			// Coalesced duplicate: the guarded work never ran under this
-			// token; free the half-open probe slot.
+			// Coalesced duplicate or solution-cache hit: the guarded work
+			// never ran under this token; free the half-open probe slot.
 			s.breaker.Cancel(token)
 		}
 	}
@@ -457,6 +531,15 @@ func (s *Service) solveOne(ctx context.Context, spec SolveSpec) SolveResult {
 	}
 	res.CacheHit = hit
 	res.Coalesced = shared
+	if res.Mapping != nil && cn != nil {
+		// The session solved in canonical labels; translate the mapping
+		// into this request's processor ids. ToOriginal clones, so
+		// coalesced sharers and cached answers never alias a mapping.
+		if !cn.IsIdentity() {
+			s.translations.Inc()
+		}
+		res.Mapping = cn.ToOriginal(res.Mapping)
+	}
 	return finish(res)
 }
 
@@ -475,12 +558,32 @@ func parseObjective(name string) (repro.Objective, error) {
 // session returns the warm session for the spec's instance and tuning
 // (building and caching it on a miss) together with the instance hash
 // used as the cache key.
-func (s *Service) session(spec SolveSpec) (*repro.Session, string, bool, error) {
-	key, err := sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
-	if err != nil {
-		return nil, "", false, fmt.Errorf("hashing instance: %w", err)
+//
+// With a canonical form in hand, the session is keyed by — and built on —
+// the canonical instance, so every relabeling of one platform warms the
+// same session and the solver runs in canonical labels (solveOne
+// translates mappings back per request). Without one (the streaming
+// re-mapper, which emits requester-labeled processor ids on the wire, or
+// the canonicalization fallback) the key is the raw instance JSON hash
+// and labels pass through untouched.
+func (s *Service) session(spec SolveSpec, cn *repro.CanonicalInstance) (*repro.Session, string, bool, error) {
+	var key string
+	if cn != nil {
+		key = canonicalSessionKey(cn.Bytes, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
+	} else {
+		var err error
+		key, err = sessionKey(spec.Pipeline, spec.Platform, spec.Workers, spec.ExactBudget, spec.ForceHeuristic, spec.Seed)
+		if err != nil {
+			return nil, "", false, fmt.Errorf("hashing instance: %w", err)
+		}
 	}
 	sess, hit, err := s.cache.getOrCreate(key, func() (*repro.Session, error) {
+		// Materialize the canonical relabeling only on a build — a cache
+		// hit must not pay the O(m²) platform copy.
+		p, pl := spec.Pipeline, spec.Platform
+		if cn != nil {
+			p, pl = cn.Pipeline(), cn.Platform()
+		}
 		opts := []repro.SessionOption{
 			repro.WithWorkers(spec.Workers),
 			repro.WithExactBudget(spec.ExactBudget),
@@ -494,7 +597,7 @@ func (s *Service) session(spec SolveSpec) (*repro.Session, string, bool, error) 
 		if spec.Seed != 0 {
 			opts = append(opts, repro.WithSeed(spec.Seed))
 		}
-		return repro.NewSession(spec.Pipeline, spec.Platform, opts...)
+		return repro.NewSession(p, pl, opts...)
 	})
 	return sess, key, hit, err
 }

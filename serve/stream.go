@@ -119,11 +119,14 @@ func (s *Service) handleRemapStream(w http.ResponseWriter, r *http.Request) {
 	// Create (and thereby validate) the session before touching the fault
 	// schedule: schedule generation must only ever see a platform that
 	// passed validation.
+	// The stream stays on the raw-labeled session path (cn == nil): every
+	// emitted mapping and fault id must be in the requester's processor
+	// labeling, and repairs are stateful per-platform anyway.
 	sess, _, _, err := s.session(SolveSpec{
 		Pipeline: spec.Pipeline, Platform: spec.Platform,
 		Workers: spec.Workers, ExactBudget: spec.ExactBudget,
 		ForceHeuristic: spec.ForceHeuristic, Seed: spec.Seed,
-	})
+	}, nil)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		return
