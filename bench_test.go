@@ -550,6 +550,99 @@ func BenchmarkWideEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateMany isolates one batch-evaluation call — the per-node
+// unit of the exact search since the sibling-block refactor: score every
+// singleton extension of a shared prefix in a single pass. narrow is the
+// uint64 path at m = 64, wide the two-word stride path at m = 128. Both
+// must stay allocation-free (pinned by CI).
+func BenchmarkEvaluateMany(b *testing.B) {
+	b.Run("narrow", func(b *testing.B) {
+		p, pl := wideBenchInstance(b, 5, 64)
+		ev, err := mapping.NewEvaluator(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]mapping.Sibling, 64)
+		pre := mapping.BatchPrefix{Depth: 1, Lat: 1, Succ: 1, PrevFirst: 0, PrevLast: 0, PrevProc: 2}
+		free := ^uint64(0) >> 1
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ev.EvaluateMany(pre, 1, 3, free, out) == 0 {
+				b.Fatal("no siblings")
+			}
+		}
+	})
+	b.Run("wide", func(b *testing.B) {
+		p, pl := wideBenchInstance(b, 5, 128)
+		ev, err := mapping.NewEvaluator(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]mapping.Sibling, 128)
+		pre := mapping.BatchPrefix{Depth: 1, Lat: 1, Succ: 1, PrevFirst: 0, PrevLast: 0, PrevProc: 100}
+		free := bitset.Make(128)
+		free.Fill(128)
+		free.Remove(100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ev.EvaluateManyW(pre, 1, 3, free, out) == 0 {
+				b.Fatal("no siblings")
+			}
+		}
+	})
+}
+
+// BenchmarkSharedIncumbentM80 contrasts the sequential search with the
+// parallel one on the m = 80 wide instance: workers publish every new
+// optimum through the shared incumbent, so parallel subtrees prune
+// against the global best rather than their own. The outputs are
+// bitwise-identical either way (see TestSharedIncumbentDeterminism); only
+// the wall clock may differ.
+func BenchmarkSharedIncumbentM80(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchWideMinLatency(b, 3, 80, 1) })
+	b.Run("par", func(b *testing.B) { benchWideMinLatency(b, 3, 80, 0) })
+}
+
+// BenchmarkSharedIncumbentMemoM80 is the communication-homogeneous
+// counterpart with a canonical suffix memo attached: processor speeds
+// fold into 3 classes, so the branch-and-bound tail bound is the exact
+// memoized suffix optimum instead of the static relaxation.
+func BenchmarkSharedIncumbentMemoM80(b *testing.B) {
+	rng := rand.New(rand.NewSource(380))
+	p := pipeline.Random(rng, 3, 1, 10, 1, 10)
+	pl := platform.RandomCommHomogeneous(rng, 80, 1, 10, 0.05, 0.95, 2)
+	speeds := [3]float64{2.5, 5, 9}
+	for u := range pl.Speed {
+		pl.Speed[u] = speeds[u%3]
+	}
+	ev, err := mapping.NewEvaluator(p, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := exact.NewSuffixMemo(p, pl, 0)
+	if sm == nil {
+		b.Fatal("no suffix memo for the folded platform")
+	}
+	for _, bc := range []struct {
+		name string
+		opts exact.Options
+	}{
+		{"seq", exact.Options{Workers: 1, Eval: ev, SuffixMemo: sm, MaxEnum: 1 << 62}},
+		{"par", exact.Options{Workers: 0, Eval: ev, SuffixMemo: sm, MaxEnum: 1 << 62}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.MinLatencyInterval(p, pl, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // heurBenchProblem builds the m-processor fully heterogeneous heuristics
 // problem used by the wide greedy/anneal benchmarks: minimize FP under a
 // latency bound 1.5× the fastest single processor, which is binding

@@ -143,6 +143,12 @@ type Options struct {
 	// evaluator precomputation across calls. It is forwarded to the exact
 	// solvers, which otherwise rebuild it per call.
 	Eval *mapping.Evaluator
+	// SuffixMemo, when non-nil, is a prebuilt exact.SuffixMemo for the
+	// problem's (pipeline, platform) pair, forwarded to the exact solvers
+	// and the bitmask DP so warm sessions reuse solved sub-instances
+	// across calls. Like Eval, the caller guarantees it matches the
+	// problem instance.
+	SuffixMemo *exact.SuffixMemo
 	// Recorder, when non-nil, receives per-solve telemetry (route attempts
 	// with phase durations, outcome, certainty) and powers deadline-adaptive
 	// routing: on the hard classes, a route whose warm per-class p95 exceeds
@@ -359,7 +365,7 @@ func solveHard(ctx context.Context, pr Problem, opts Options, tr *solveTrace) (R
 	if !opts.ForceHeuristic {
 		if _, commHom := pr.Platform.CommHomogeneous(); commHom && m <= exact.MaxBitmaskProcs && tr.fits(telemetry.RouteDP) {
 			began := tr.begin()
-			res, err := solveBitmaskDP(ctx, pr)
+			res, err := solveBitmaskDP(ctx, pr, opts)
 			if err == nil || errors.Is(err, ErrInfeasible) {
 				tr.end(telemetry.RouteDP, began, attemptOutcome(err, false))
 				return res, err
@@ -409,19 +415,19 @@ func solvePartialFallback(pr Problem, opts Options, tr *solveTrace, cancelErr er
 // communication-homogeneous platforms. The DP polls ctx through its layer
 // loop, so a mid-run cancellation surfaces as exact.ErrCanceled and the
 // caller falls back to the sweep-based partial answer.
-func solveBitmaskDP(ctx context.Context, pr Problem) (Result, error) {
+func solveBitmaskDP(ctx context.Context, pr Problem, opts Options) (Result, error) {
 	var res exact.Result
 	var err error
 	var method string
 	if pr.Objective == MinimizeFailureProb {
-		res, err = exact.MinFPUnderLatencyDP(pr.Pipeline, pr.Platform, pr.MaxLatency, exact.Options{Ctx: ctx})
+		res, err = exact.MinFPUnderLatencyDP(pr.Pipeline, pr.Platform, pr.MaxLatency, exact.Options{Ctx: ctx, SuffixMemo: opts.SuffixMemo})
 		method = "bitmask DP (min FP s.t. latency)"
 	} else {
 		bound := pr.MaxFailProb
 		if pr.fpUnconstrained() {
 			bound = 1
 		}
-		res, err = exact.MinLatencyUnderFPDP(pr.Pipeline, pr.Platform, bound, exact.Options{Ctx: ctx})
+		res, err = exact.MinLatencyUnderFPDP(pr.Pipeline, pr.Platform, bound, exact.Options{Ctx: ctx, SuffixMemo: opts.SuffixMemo})
 		method = "bitmask DP (min latency s.t. FP)"
 	}
 	if errors.Is(err, exact.ErrInfeasible) {
@@ -434,7 +440,7 @@ func solveBitmaskDP(ctx context.Context, pr Problem) (Result, error) {
 }
 
 func solveExact(ctx context.Context, pr Problem, opts Options) (Result, error) {
-	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval, Recorder: opts.Recorder}
+	exOpts := exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval, Recorder: opts.Recorder, SuffixMemo: opts.SuffixMemo}
 	var res exact.Result
 	var err error
 	var method string
@@ -614,7 +620,7 @@ func ParetoCtx(ctx context.Context, p *pipeline.Pipeline, pl *platform.Platform,
 	}
 	n, m := p.NumStages(), pl.NumProcs()
 	if !opts.ForceHeuristic && EstimateMappingCount(n, m) <= opts.exactBudget() {
-		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval})
+		results, err := exact.ParetoFront(p, pl, exact.Options{MaxEnum: int64(opts.exactBudget()) * 2, Workers: opts.Workers, Ctx: ctx, Eval: opts.Eval, SuffixMemo: opts.SuffixMemo})
 		if err == nil || (errors.Is(err, exact.ErrCanceled) && len(results) > 0) {
 			front := &frontier.Front{}
 			for _, r := range results {

@@ -41,6 +41,18 @@ type dpEntry struct {
 // complete mappings as (entries at layer n, per mask) flattened, already
 // including the final δ_n/b term.
 //
+// maxLatency, when finite, caps the latency the caller will accept
+// (MinFPUnderLatencyDP's constraint): transitions whose partial latency
+// plus the suffix memo's exact best-case completion provably exceed the
+// cap — beyond twice the shared latency tolerance, double the slack of
+// the final leqTol filter — are dropped at insert time instead of
+// populating layers they can never survive. The answer is unchanged: a
+// dropped entry's every completion fails the final filter, and within a
+// state any entry it dominated has no smaller latency over the same
+// completion options, so it is dropped by the same test — pruning never
+// removes a dominance shield from a feasible entry. Callers wanting the
+// full front pass math.Inf(1), which disables the memo entirely.
+//
 // The layer loop is interruptible: when opts.Ctx carries a cancelable
 // context, a watcher goroutine flips an abort flag the transition loop
 // checks per (mask, subset) pair, so cancellation latency is one subset
@@ -48,7 +60,7 @@ type dpEntry struct {
 // ErrCanceled wrapping the context's cause (the DP has no usable partial
 // answer — complete mappings only materialize once the last layer is
 // reached).
-func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
+func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options, maxLatency float64) ([]Result, error) {
 	b, ok := pl.CommHomogeneous()
 	if !ok {
 		return nil, fmt.Errorf("exact: the bitmask DP requires a communication-homogeneous platform")
@@ -93,6 +105,22 @@ func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Res
 		}
 	}
 
+	// Latency-cap pruning state: the suffix memo answers "best possible
+	// completion of stages [e+1, n) over the processors still free".
+	var sm *SuffixMemo
+	var fullIdx int64
+	var latCap float64
+	if !math.IsInf(maxLatency, 1) {
+		sm = opts.SuffixMemo
+		if sm == nil || sm.n != n || sm.m != m {
+			sm = NewSuffixMemo(p, pl, 0)
+		}
+		if sm != nil {
+			fullIdx = sm.FullIdx()
+			latCap = maxLatency + 2*latencyTol*math.Max(1, math.Abs(maxLatency))
+		}
+	}
+
 	// dp[i] maps used-mask → Pareto entries.
 	dp := make([]map[int][]dpEntry, n+1)
 	for i := range dp {
@@ -125,18 +153,45 @@ func bitmaskDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Res
 			if free == 0 {
 				continue // no processors left for the remaining stages
 			}
+			var maskW int64
+			if sm != nil {
+				for t := mask; t != 0; t &= t - 1 {
+					maskW += sm.weight[bits.TrailingZeros(uint(t))]
+				}
+			}
 			for sub := free; sub > 0; sub = (sub - 1) & free {
 				if abort.Load() {
 					return nil, canceledErr(opts.Ctx)
+				}
+				var freeIdx int64
+				if sm != nil {
+					subW := int64(0)
+					for t := sub; t != 0; t &= t - 1 {
+						subW += sm.weight[bits.TrailingZeros(uint(t))]
+					}
+					freeIdx = fullIdx - maskW - subW
 				}
 				k := float64(bits.OnesCount(uint(sub)))
 				commIn := k * p.Delta[i] / b
 				logTerm := math.Log1p(-prodFP[sub]) // log(1 − Π fp); −Inf if product is 1
 				for e := i; e < n; e++ {
 					work := p.Work(i, e) / minSpeed[sub]
+					var suffix float64
+					if sm != nil {
+						// Best-case completion of stages [e+1, n) over the
+						// remaining free set: exact without replication,
+						// hence a valid lower bound for the DP's replicated
+						// transitions too (δ_n/b when e+1 == n; +Inf when the
+						// set is empty, which prunes the dead state exactly).
+						suffix = sm.Lookup(e+1, freeIdx)
+					}
 					for idx, ent := range entries {
+						lat := ent.lat + commIn + work
+						if sm != nil && lat+suffix > latCap {
+							continue
+						}
 						insert(dp[e+1], mask|sub, dpEntry{
-							lat:      ent.lat + commIn + work,
+							lat:      lat,
 							logS:     ent.logS + logTerm,
 							prevMask: mask,
 							prevIdx:  idx,
@@ -227,13 +282,16 @@ func reconstruct(dp []map[int][]dpEntry, layer, mask, idx int) *mapping.Mapping 
 // Only opts.Ctx is honored (the DP is sequential and needs no budget:
 // pruned subtrees don't exist, the table is polynomial in n).
 func ParetoCommHomDP(p *pipeline.Pipeline, pl *platform.Platform, opts Options) ([]Result, error) {
-	return bitmaskDP(p, pl, opts)
+	return bitmaskDP(p, pl, opts, math.Inf(1))
 }
 
 // MinFPUnderLatencyDP answers "minimize FP subject to latency ≤ L" from
-// the DP front.
+// the DP front. The latency cap is pushed into the DP itself: suffix-memo
+// bounds (opts.SuffixMemo when provided, a private memo otherwise) drop
+// transitions that provably cannot meet it, shrinking the table without
+// changing the answer.
 func MinFPUnderLatencyDP(p *pipeline.Pipeline, pl *platform.Platform, maxLatency float64, opts Options) (Result, error) {
-	front, err := bitmaskDP(p, pl, opts)
+	front, err := bitmaskDP(p, pl, opts, maxLatency)
 	if err != nil {
 		return Result{}, err
 	}
@@ -252,7 +310,7 @@ func MinFPUnderLatencyDP(p *pipeline.Pipeline, pl *platform.Platform, maxLatency
 // MinLatencyUnderFPDP answers "minimize latency subject to FP ≤ F" from
 // the DP front.
 func MinLatencyUnderFPDP(p *pipeline.Pipeline, pl *platform.Platform, maxFailProb float64, opts Options) (Result, error) {
-	front, err := bitmaskDP(p, pl, opts)
+	front, err := bitmaskDP(p, pl, opts, math.Inf(1))
 	if err != nil {
 		return Result{}, err
 	}

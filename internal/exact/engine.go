@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,10 +79,40 @@ type engine struct {
 	overBudget atomic.Bool
 	canceled   atomic.Bool
 	rec        *telemetry.Recorder // nil: no telemetry
+	memo       *SuffixMemo         // nil: TailLatencyLB only (see Options.SuffixMemo)
 
 	nextTask   atomic.Int64
 	totalTasks int64
 	subsPerEnd int64
+
+	stats searchStats // aggregated worker-local counters (flushed at worker exit)
+}
+
+// searchStats aggregates the per-worker search telemetry. Workers count
+// into plain int64 locals and flush once when they exit, so the hot path
+// never touches shared cache lines; engine.run folds the aggregate into
+// the telemetry registry after the fan-out completes.
+type searchStats struct {
+	nodes      atomic.Int64 // candidate nodes scored (batch siblings + pushes)
+	prunes     atomic.Int64 // subtrees cut by the shared bound / constraint
+	memoHits   atomic.Int64 // tail bounds served by the suffix memo
+	memoMisses atomic.Int64 // comm-hom tail bounds that fell back to TailLatencyLB
+	batchCalls atomic.Int64 // EvaluateMany block calls
+	batchCands atomic.Int64 // siblings scored across those blocks
+}
+
+// localStats is the per-worker face of searchStats.
+type localStats struct {
+	nodes, prunes, memoHits, memoMisses, batchCalls, batchCands int64
+}
+
+func (g *engine) flushStats(l *localStats) {
+	g.stats.nodes.Add(l.nodes)
+	g.stats.prunes.Add(l.prunes)
+	g.stats.memoHits.Add(l.memoHits)
+	g.stats.memoMisses.Add(l.memoMisses)
+	g.stats.batchCalls.Add(l.batchCalls)
+	g.stats.batchCands.Add(l.batchCands)
 }
 
 func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
@@ -100,6 +131,11 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 	}
 	if ev != nil {
 		g.commHom = ev.CommHom()
+	}
+	// The suffix memo sharpens the comm-hom tail bound only; it must
+	// describe the same instance (caller contract, like Options.Eval).
+	if sm := opts.SuffixMemo; sm != nil && ev != nil && g.commHom && sm.n == n && sm.m == m {
+		g.memo = sm
 	}
 	// The narrow (uint64-register) search covers m ≤ 64; with replication
 	// its task indices pack end·(2^m−1)+subset into an int64, so m ≤ 62.
@@ -136,8 +172,9 @@ func newEngine(ev *mapping.Evaluator, n, m int, opts Options) (*engine, error) {
 //
 // When the engine carries a cancellable context, a watcher goroutine
 // flips the abort flag as soon as the context is done; every worker
-// checks that flag at each search node, so cancellation latency is one
-// node expansion, not one subtree. A canceled run returns an error
+// checks that flag on each recursion entry, so cancellation latency is
+// bounded by one sibling block (the m candidates a single EvaluateMany
+// call scores), not one subtree. A canceled run returns an error
 // wrapping both ErrCanceled and the context's cause.
 func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) error {
 	if g.rec != nil {
@@ -147,6 +184,12 @@ func (g *engine) run(workers int, newWorker func(w int) (pruneFunc, visitFunc)) 
 		defer func() {
 			g.rec.Counter("exact_runs_total").Inc()
 			g.rec.Counter("exact_enumerated_total").Add(g.counter.Load())
+			g.rec.Counter("exact_nodes_total").Add(g.stats.nodes.Load())
+			g.rec.Counter("exact_incumbent_prunes_total").Add(g.stats.prunes.Load())
+			g.rec.Counter("exact_memo_hits_total").Add(g.stats.memoHits.Load())
+			g.rec.Counter("exact_memo_misses_total").Add(g.stats.memoMisses.Load())
+			g.rec.Counter("exact_batch_calls_total").Add(g.stats.batchCalls.Load())
+			g.rec.Counter("exact_batch_candidates_total").Add(g.stats.batchCands.Load())
 			g.rec.Observe("exact_search_duration", time.Since(started))
 		}()
 	}
@@ -220,6 +263,14 @@ func (g *engine) worker(prune pruneFunc, visit visitFunc) {
 		succ:  make([]float64, g.n+1),
 	}
 	s.succ[0] = 1
+	if g.ev != nil && !g.replication {
+		s.sib = make([]mapping.Sibling, g.m)
+	}
+	if g.memo != nil {
+		s.memoIdx = make([]int64, g.n+1)
+		s.memoIdx[0] = g.memo.FullIdx()
+	}
+	defer g.flushStats(&s.localStats)
 	for !g.abort.Load() {
 		t := g.nextTask.Add(1) - 1
 		if t >= g.totalTasks {
@@ -256,6 +307,16 @@ type search struct {
 
 	ends  []int
 	masks []uint64
+	// sib is the batch-evaluation scratch: every non-replication level
+	// scores all singleton siblings of one (start, end) prefix through a
+	// single Evaluator.EvaluateMany call (m entries, allocated once per
+	// worker, so the per-node path stays allocation-free).
+	sib []mapping.Sibling
+	// memoIdx[d] is the canonical free-multiset key after d intervals
+	// (suffix-memo engines only), maintained incrementally: child key =
+	// parent key − Σ weight(replica).
+	memoIdx []int64
+	localStats
 	// lat[d] is the charged latency after d intervals: on comm-hom
 	// platforms the full Eq. (1) terms of intervals 0..d-1; on fully
 	// heterogeneous platforms the Eq. (2) input sum plus the full terms of
@@ -278,13 +339,14 @@ func (s *search) push(d, first, end int, sub uint64) bool {
 	if ev == nil {
 		return true
 	}
+	s.nodes++
 	s.succ[d+1] = s.succ[d] * ev.SuccessFactor(sub)
 	var newLat, lb float64
 	if s.eng.commHom {
 		commIn, compute := ev.IntervalEq1Cost(first, end, sub)
 		newLat = s.lat[d] + commIn
 		newLat += compute
-		lb = newLat + ev.TailLatencyLB(end+1)
+		lb = newLat + s.pushTail(d, end+1, sub)
 	} else {
 		if d == 0 {
 			newLat = ev.InputSum(sub)
@@ -295,18 +357,52 @@ func (s *search) push(d, first, end int, sub uint64) bool {
 			}
 			newLat = s.lat[d] + ev.IntervalEq2Term(prevFirst, s.ends[d-1], s.masks[d-1], sub)
 		}
-		lb = newLat + ev.IntervalComputeLB(first, end, sub) + ev.TailLatencyLB(end+1)
+		lb = newLat + ev.IntervalComputeLB(first, end, sub) + s.pushTail(d, end+1, sub)
 	}
 	s.lat[d+1] = newLat
 	if s.prune != nil && s.prune(lb, 1-s.succ[d+1]) {
+		s.prunes++
 		return false
 	}
 	return true
 }
 
+// pushTail returns the tail bound on stages [start, n) for the subtree
+// rooted at the depth-d interval on replica set sub, maintaining the
+// suffix-memo key when a memo is attached and falling back to the
+// evaluator's static TailLatencyLB otherwise.
+func (s *search) pushTail(d, start int, sub uint64) float64 {
+	g := s.eng
+	if g.memo == nil {
+		if g.commHom {
+			s.memoMisses++
+		}
+		return g.ev.TailLatencyLB(start)
+	}
+	child := s.memoIdx[d]
+	for bm := sub; bm != 0; bm &= bm - 1 {
+		child -= g.memo.weight[bits.TrailingZeros64(bm)]
+	}
+	s.memoIdx[d+1] = child
+	if start >= g.n {
+		return g.ev.TailLatencyLB(start) // exact final-output term
+	}
+	s.memoHits++
+	return g.memo.Lookup(start, child)
+}
+
 // rec extends the partial mapping (stages [0, start) assigned on the
 // processors in used, depth intervals chosen) with every completion.
 // It returns false when the whole enumeration must stop.
+//
+// Non-replication levels with an evaluator run the batch path: one
+// EvaluateMany call scores every singleton sibling of the (start, end)
+// prefix — sharing the previous interval's Eq. (2) term, the Eq. (1)
+// input transfer and the work window across the block — and final-stage
+// blocks complete inline, skipping the per-candidate push/rec/complete
+// chain entirely. Candidate order, pruning decisions, budget charging and
+// visit order are identical to the single-candidate path, so outputs are
+// bitwise-unchanged.
 func (s *search) rec(start int, used uint64, depth int) bool {
 	g := s.eng
 	if g.abort.Load() {
@@ -320,32 +416,125 @@ func (s *search) rec(start int, used uint64, depth int) bool {
 		return true
 	}
 	last := g.n - 1
+	if g.replication || g.ev == nil {
+		for end := start; end <= last; end++ {
+			if g.replication {
+				for sub := free; sub != 0; sub = (sub - 1) & free {
+					if end < last && sub == free {
+						continue
+					}
+					if !s.push(depth, start, end, sub) {
+						continue
+					}
+					if !s.rec(end+1, used|sub, depth+1) {
+						return false
+					}
+				}
+			} else {
+				for bm := free; bm != 0; bm &= bm - 1 {
+					sub := bm & -bm
+					if end < last && sub == free {
+						continue
+					}
+					if !s.push(depth, start, end, sub) {
+						continue
+					}
+					if !s.rec(end+1, used|sub, depth+1) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	ev := g.ev
+	pre := mapping.BatchPrefix{Depth: depth, Lat: s.lat[depth], Succ: s.succ[depth]}
+	if !g.commHom {
+		// rec always runs at depth ≥ 1 (the first interval is pushed by the
+		// task loop), so the previous interval exists and — non-replication
+		// — is a singleton.
+		pre.PrevLast = s.ends[depth-1]
+		if depth > 1 {
+			pre.PrevFirst = s.ends[depth-2] + 1
+		}
+		pre.PrevProc = bits.TrailingZeros64(s.masks[depth-1])
+	}
+	freeSingleton := free&(free-1) == 0
 	for end := start; end <= last; end++ {
-		if g.replication {
-			for sub := free; sub != 0; sub = (sub - 1) & free {
-				if end < last && sub == free {
-					continue
-				}
-				if !s.push(depth, start, end, sub) {
-					continue
-				}
-				if !s.rec(end+1, used|sub, depth+1) {
-					return false
-				}
+		if end < last && freeSingleton {
+			continue // the lone free processor must serve the final interval
+		}
+		nb := ev.EvaluateMany(pre, start, end, free, s.sib)
+		s.batchCalls++
+		s.batchCands += int64(nb)
+		s.nodes += int64(nb)
+		if end == last {
+			if !s.completeBatch(depth, end, nb) {
+				return false
 			}
-		} else {
-			for bm := free; bm != 0; bm &= bm - 1 {
-				sub := bm & -bm
-				if end < last && sub == free {
-					continue
-				}
-				if !s.push(depth, start, end, sub) {
-					continue
-				}
-				if !s.rec(end+1, used|sub, depth+1) {
-					return false
-				}
+			continue
+		}
+		var tail float64
+		if g.memo == nil {
+			tail = ev.TailLatencyLB(end + 1)
+			if g.commHom {
+				s.memoMisses += int64(nb)
 			}
+		}
+		for i := 0; i < nb; i++ {
+			sb := &s.sib[i]
+			var lb float64
+			if g.memo != nil {
+				child := s.memoIdx[depth] - g.memo.weight[sb.Proc]
+				s.memoIdx[depth+1] = child
+				s.memoHits++
+				lb = sb.LB + g.memo.Lookup(end+1, child)
+			} else {
+				lb = sb.LB + tail
+			}
+			if s.prune != nil && s.prune(lb, 1-sb.Succ) {
+				s.prunes++
+				continue
+			}
+			bit := uint64(1) << uint(sb.Proc)
+			s.ends[depth] = end
+			s.masks[depth] = bit
+			s.lat[depth+1] = sb.Lat
+			s.succ[depth+1] = sb.Succ
+			if !s.rec(end+1, used|bit, depth+1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// completeBatch finalizes a final-stage sibling block inline: each
+// surviving candidate is budget-charged and visited with the metrics the
+// batch evaluation already produced — bitwise those of the push/complete
+// chain it replaces.
+func (s *search) completeBatch(depth, end, nb int) bool {
+	g := s.eng
+	tailN := g.ev.TailLatencyLB(g.n)
+	var met mapping.Metrics
+	for i := 0; i < nb; i++ {
+		sb := &s.sib[i]
+		if s.prune != nil && s.prune(sb.LB+tailN, 1-sb.Succ) {
+			s.prunes++
+			continue
+		}
+		if g.counter.Add(1) > g.budget {
+			g.overBudget.Store(true)
+			g.abort.Store(true)
+			return false
+		}
+		met.Latency = sb.Final
+		met.FailureProb = 1 - sb.Succ
+		s.ends[depth] = end
+		s.masks[depth] = uint64(1) << uint(sb.Proc)
+		if !s.visit(s.task, s.ends[:depth+1], s.masks[:depth+1], met) {
+			g.abort.Store(true)
+			return false
 		}
 	}
 	return true
@@ -378,105 +567,6 @@ func (s *search) complete(depth int) bool {
 		return false
 	}
 	return true
-}
-
-// atomicMin is a lock-free monotone float64 minimum used as the shared
-// pruning bound.
-type atomicMin struct{ bits atomic.Uint64 }
-
-func newAtomicMin() *atomicMin {
-	a := &atomicMin{}
-	a.bits.Store(math.Float64bits(math.Inf(1)))
-	return a
-}
-
-func (a *atomicMin) load() float64 { return math.Float64frombits(a.bits.Load()) }
-
-func (a *atomicMin) min(x float64) {
-	for {
-		old := a.bits.Load()
-		if math.Float64frombits(old) <= x {
-			return
-		}
-		if a.bits.CompareAndSwap(old, math.Float64bits(x)) {
-			return
-		}
-	}
-}
-
-// incumbent tracks the best candidate across workers with a deterministic
-// total order: the solver's metric comparator first, then the task index
-// of discovery (so the result is independent of worker count and
-// scheduling). The objective value is mirrored into an atomicMin for
-// cheap lock-free pruning reads.
-type incumbent struct {
-	mu     sync.Mutex
-	found  bool
-	met    mapping.Metrics
-	task   int64
-	ends   []int
-	masks  []uint64 // flat, stride words per interval
-	stride int
-	nEnds  int
-	bound  *atomicMin
-	cmp    func(a, b mapping.Metrics) int // <0: a strictly better
-	objOf  func(met mapping.Metrics) float64
-}
-
-func newIncumbent(n, stride int, cmp func(a, b mapping.Metrics) int, objOf func(mapping.Metrics) float64) *incumbent {
-	return &incumbent{
-		ends:   make([]int, n),
-		masks:  make([]uint64, n*stride),
-		stride: stride,
-		bound:  newAtomicMin(),
-		cmp:    cmp,
-		objOf:  objOf,
-	}
-}
-
-// offer proposes a feasible candidate. The fast path rejects without the
-// lock when the objective is strictly above the current bound.
-func (inc *incumbent) offer(task int64, ends []int, masks []uint64, met mapping.Metrics) {
-	if inc.objOf(met) > inc.bound.load() {
-		return
-	}
-	inc.mu.Lock()
-	defer inc.mu.Unlock()
-	if inc.found {
-		c := inc.cmp(met, inc.met)
-		if c > 0 || (c == 0 && task >= inc.task) {
-			return
-		}
-	}
-	inc.found = true
-	inc.met = met
-	inc.task = task
-	inc.nEnds = copy(inc.ends, ends)
-	copy(inc.masks, masks)
-	inc.bound.min(inc.objOf(met))
-}
-
-// result materializes the winning candidate.
-func (inc *incumbent) result(ev *mapping.Evaluator) (Result, error) {
-	inc.mu.Lock()
-	defer inc.mu.Unlock()
-	if !inc.found {
-		return Result{}, ErrInfeasible
-	}
-	var mp *mapping.Mapping
-	if inc.stride == 1 {
-		mp = ev.ToMapping(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds])
-	} else {
-		mp = ev.ToMappingW(inc.ends[:inc.nEnds], inc.masks[:inc.nEnds*inc.stride])
-	}
-	return Result{Mapping: mp, Metrics: inc.met}, nil
-}
-
-// latencyStrictlyWorse reports lb > bound beyond the shared latency
-// tolerance, i.e. the subtree is provably worse and safe to cut even in
-// the presence of float accumulation ties.
-func latencyStrictlyWorse(lb, bound float64) bool {
-	return lb > bound+latencyTol*math.Max(1, math.Abs(bound))
 }
 
 // fillMaskedMapping converts a boundary representation (flat masks,

@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"math/bits"
+
 	"repro/internal/bitset"
 	"repro/internal/mapping"
 )
@@ -39,6 +41,14 @@ type searchWide struct {
 	free  []uint64 // per-depth scratch: processors still unassigned
 	sub   []uint64 // per-depth scratch: the subset iterator
 	rest  []uint64 // task-level scratch: {p+1, …, m−1} and the T iterator
+	// sib is the batch-evaluation scratch (see search.sib in engine.go).
+	sib []mapping.Sibling
+	// prevProc[d] is interval d's sole replica on non-replication levels,
+	// tracked so the batch prefix never has to scan mask rows for it.
+	prevProc []int
+	// memoIdx mirrors search.memoIdx (suffix-memo engines only).
+	memoIdx []int64
+	localStats
 	// lat and succ mirror search.lat / search.succ (see engine.go).
 	lat  []float64
 	succ []float64
@@ -78,6 +88,15 @@ func (g *engine) workerWide(prune pruneFunc, visit visitFunc) {
 		succ:  make([]float64, g.n+1),
 	}
 	s.succ[0] = 1
+	if g.ev != nil && !g.replication {
+		s.sib = make([]mapping.Sibling, g.m)
+		s.prevProc = make([]int, g.n)
+	}
+	if g.memo != nil {
+		s.memoIdx = make([]int64, g.n+1)
+		s.memoIdx[0] = g.memo.FullIdx()
+	}
+	defer g.flushStats(&s.localStats)
 	firstSub := bitset.Set(s.sub[:W]) // depth-0 subset scratch
 	rest := bitset.Set(s.rest[:W])
 	iterT := bitset.Set(s.rest[W:])
@@ -97,6 +116,9 @@ func (g *engine) workerWide(prune pruneFunc, visit visitFunc) {
 			}
 			firstSub.Zero()
 			firstSub.Add(p)
+			if s.prevProc != nil {
+				s.prevProc[0] = p
+			}
 			if !s.explore(0, 0, end, firstSub) {
 				return
 			}
@@ -149,13 +171,14 @@ func (s *searchWide) push(d, first, end int, sub bitset.Set) bool {
 	if ev == nil {
 		return true
 	}
+	s.nodes++
 	s.succ[d+1] = s.succ[d] * ev.SuccessFactorW(sub)
 	var newLat, lb float64
 	if s.eng.commHom {
 		commIn, compute := ev.IntervalEq1CostW(first, end, sub)
 		newLat = s.lat[d] + commIn
 		newLat += compute
-		lb = newLat + ev.TailLatencyLB(end+1)
+		lb = newLat + s.pushTail(d, end+1, sub)
 	} else {
 		if d == 0 {
 			newLat = ev.InputSumW(sub)
@@ -166,18 +189,50 @@ func (s *searchWide) push(d, first, end int, sub bitset.Set) bool {
 			}
 			newLat = s.lat[d] + ev.IntervalEq2TermW(prevFirst, s.ends[d-1], s.maskRow(d-1), sub)
 		}
-		lb = newLat + ev.IntervalComputeLBW(first, end, sub) + ev.TailLatencyLB(end+1)
+		lb = newLat + ev.IntervalComputeLBW(first, end, sub) + s.pushTail(d, end+1, sub)
 	}
 	s.lat[d+1] = newLat
 	if s.prune != nil && s.prune(lb, 1-s.succ[d+1]) {
+		s.prunes++
 		return false
 	}
 	return true
 }
 
+// pushTail is the wide twin of search.pushTail: the tail bound on stages
+// [start, n) below the depth-d interval on replica set sub, served by the
+// suffix memo when one is attached.
+func (s *searchWide) pushTail(d, start int, sub bitset.Set) float64 {
+	g := s.eng
+	if g.memo == nil {
+		if g.commHom {
+			s.memoMisses++
+		}
+		return g.ev.TailLatencyLB(start)
+	}
+	child := s.memoIdx[d]
+	for w, word := range sub {
+		wbase := w * bitset.WordBits
+		for bm := word; bm != 0; bm &= bm - 1 {
+			child -= g.memo.weight[wbase+bits.TrailingZeros64(bm)]
+		}
+	}
+	s.memoIdx[d+1] = child
+	if start >= g.n {
+		return g.ev.TailLatencyLB(start) // exact final-output term
+	}
+	s.memoHits++
+	return g.memo.Lookup(start, child)
+}
+
 // rec extends the partial mapping (stages [0, start) assigned, depth
 // intervals chosen, usedRow(depth) enrolled) with every completion. It
 // returns false when the whole enumeration must stop.
+//
+// Non-replication levels with an evaluator run the batch path of
+// search.rec (engine.go documents the bitwise contract), scoring every
+// singleton sibling of one (start, end) prefix through a single
+// EvaluateManyW call and completing final-stage blocks inline.
 func (s *searchWide) rec(start, depth int) bool {
 	g := s.eng
 	if g.abort.Load() {
@@ -192,33 +247,129 @@ func (s *searchWide) rec(start, depth int) bool {
 		return true
 	}
 	last := g.n - 1
-	for end := start; end <= last; end++ {
-		if g.replication {
-			sub := s.subRow(depth)
-			sub.Copy(free)
-			for {
-				if !(end < last && sub.Equal(free)) {
+	if g.replication || g.ev == nil {
+		for end := start; end <= last; end++ {
+			if g.replication {
+				sub := s.subRow(depth)
+				sub.Copy(free)
+				for {
+					if !(end < last && sub.Equal(free)) {
+						if !s.explore(depth, start, end, sub) {
+							return false
+						}
+					}
+					if !sub.DecAnd(free) {
+						break
+					}
+				}
+			} else {
+				sub := s.subRow(depth)
+				freeIsSingleton := free.Count() == 1
+				for u := free.NextOne(0); u >= 0; u = free.NextOne(u + 1) {
+					if end < last && freeIsSingleton {
+						continue // sub == free: no processor left for the rest
+					}
+					sub.Zero()
+					sub.Add(u)
 					if !s.explore(depth, start, end, sub) {
 						return false
 					}
 				}
-				if !sub.DecAnd(free) {
-					break
-				}
 			}
-		} else {
-			sub := s.subRow(depth)
-			freeIsSingleton := free.Count() == 1
-			for u := free.NextOne(0); u >= 0; u = free.NextOne(u + 1) {
-				if end < last && freeIsSingleton {
-					continue // sub == free: no processor left for the rest
-				}
-				sub.Zero()
-				sub.Add(u)
-				if !s.explore(depth, start, end, sub) {
-					return false
-				}
+		}
+		return true
+	}
+	ev := g.ev
+	pre := mapping.BatchPrefix{Depth: depth, Lat: s.lat[depth], Succ: s.succ[depth]}
+	if !g.commHom {
+		// rec always runs at depth ≥ 1 (the first interval comes from the
+		// task loop), so interval depth−1 exists and is a singleton.
+		pre.PrevLast = s.ends[depth-1]
+		if depth > 1 {
+			pre.PrevFirst = s.ends[depth-2] + 1
+		}
+		pre.PrevProc = s.prevProc[depth-1]
+	}
+	freeSingleton := free.Count() == 1
+	for end := start; end <= last; end++ {
+		if end < last && freeSingleton {
+			continue // the lone free processor must serve the final interval
+		}
+		nb := ev.EvaluateManyW(pre, start, end, free, s.sib)
+		s.batchCalls++
+		s.batchCands += int64(nb)
+		s.nodes += int64(nb)
+		if end == last {
+			if !s.completeBatch(depth, end, nb) {
+				return false
 			}
+			continue
+		}
+		var tail float64
+		if g.memo == nil {
+			tail = ev.TailLatencyLB(end + 1)
+			if g.commHom {
+				s.memoMisses += int64(nb)
+			}
+		}
+		for i := 0; i < nb; i++ {
+			sb := &s.sib[i]
+			var lb float64
+			if g.memo != nil {
+				child := s.memoIdx[depth] - g.memo.weight[sb.Proc]
+				s.memoIdx[depth+1] = child
+				s.memoHits++
+				lb = sb.LB + g.memo.Lookup(end+1, child)
+			} else {
+				lb = sb.LB + tail
+			}
+			if s.prune != nil && s.prune(lb, 1-sb.Succ) {
+				s.prunes++
+				continue
+			}
+			s.ends[depth] = end
+			mrow := s.maskRow(depth)
+			mrow.Zero()
+			mrow.Add(sb.Proc)
+			s.prevProc[depth] = sb.Proc
+			s.lat[depth+1] = sb.Lat
+			s.succ[depth+1] = sb.Succ
+			s.usedRow(depth+1).Or(s.usedRow(depth), mrow)
+			if !s.rec(end+1, depth+1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// completeBatch is the wide twin of search.completeBatch: surviving
+// final-stage siblings are budget-charged and visited inline with the
+// metrics EvaluateManyW already produced.
+func (s *searchWide) completeBatch(depth, end, nb int) bool {
+	g := s.eng
+	tailN := g.ev.TailLatencyLB(g.n)
+	var met mapping.Metrics
+	for i := 0; i < nb; i++ {
+		sb := &s.sib[i]
+		if s.prune != nil && s.prune(sb.LB+tailN, 1-sb.Succ) {
+			s.prunes++
+			continue
+		}
+		if g.counter.Add(1) > g.budget {
+			g.overBudget.Store(true)
+			g.abort.Store(true)
+			return false
+		}
+		met.Latency = sb.Final
+		met.FailureProb = 1 - sb.Succ
+		s.ends[depth] = end
+		mrow := s.maskRow(depth)
+		mrow.Zero()
+		mrow.Add(sb.Proc)
+		if !s.visit(s.task, s.ends[:depth+1], s.masks[:(depth+1)*g.stride], met) {
+			g.abort.Store(true)
+			return false
 		}
 	}
 	return true

@@ -1,0 +1,136 @@
+package exact
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// bruteSuffix is the direct recursive reference for SuffixMemo.Lookup: the
+// minimum Eq. (1) latency of stages [start, n) with one replica per
+// interval drawn from the free set (processor-indexed, no class folding).
+func bruteSuffix(p *pipeline.Pipeline, pl *platform.Platform, b float64, start int, free uint64) float64 {
+	n := p.NumStages()
+	if start >= n {
+		return p.Delta[n] / b
+	}
+	best := math.Inf(1)
+	in := p.Delta[start] / b
+	for bm := free; bm != 0; bm &= bm - 1 {
+		u := bits.TrailingZeros64(bm)
+		for end := start; end < n; end++ {
+			tail := p.Delta[n] / b
+			if end < n-1 {
+				tail = bruteSuffix(p, pl, b, end+1, free&^(1<<uint(u)))
+				if math.IsInf(tail, 1) {
+					continue
+				}
+			}
+			if t := in + p.Work(start, end)/pl.Speed[u] + tail; t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// TestSuffixMemoMatchesBruteForce: Lookup must equal the brute-force
+// suffix optimum exactly (class folding changes which processor
+// represents a speed class, never any float value).
+func TestSuffixMemoMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		p := pipeline.Random(rng, n, 1, 10, 0, 10)
+		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 1+rng.Float64()*4)
+		b, ok := pl.CommHomogeneous()
+		if !ok {
+			t.Fatal("expected comm-hom platform")
+		}
+		sm := NewSuffixMemo(p, pl, 0)
+		if sm == nil {
+			t.Fatalf("seed %d: no memo for a small comm-hom instance", seed)
+		}
+		full := uint64(1)<<uint(m) - 1
+		for trial := 0; trial < 20; trial++ {
+			free := rng.Uint64() & full
+			start := rng.Intn(n + 1)
+			idx := sm.FullIdx()
+			for bm := full &^ free; bm != 0; bm &= bm - 1 {
+				idx -= sm.Weight(bits.TrailingZeros64(bm))
+			}
+			got := sm.Lookup(start, idx)
+			want := bruteSuffix(p, pl, b, start, free)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("seed %d start %d free %b: Lookup = %v, brute force = %v", seed, start, free, got, want)
+			}
+		}
+	}
+}
+
+// TestSuffixMemoSharpensTailLB: the memo value over the full free set can
+// never fall below the evaluator's static TailLatencyLB — it is the same
+// quantity without the per-term relaxations.
+func TestSuffixMemoSharpensTailLB(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := pipeline.Random(rng, n, 1, 10, 0, 10)
+		pl := platform.RandomCommHomogeneous(rng, m, 1, 10, 0.05, 0.95, 1+rng.Float64()*4)
+		ev, err := mapping.NewEvaluator(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := NewSuffixMemo(p, pl, 0)
+		if sm == nil {
+			t.Fatalf("seed %d: no memo", seed)
+		}
+		for start := 0; start <= n; start++ {
+			memoVal := sm.Lookup(start, sm.FullIdx())
+			lb := ev.TailLatencyLB(start)
+			if memoVal < lb {
+				t.Fatalf("seed %d start %d: memo %v below static tail bound %v", seed, start, memoVal, lb)
+			}
+		}
+	}
+}
+
+// TestSuffixMemoGates: heterogeneous platforms and oversized state spaces
+// must yield no memo.
+func TestSuffixMemoGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := pipeline.Random(rng, 3, 1, 10, 0, 10)
+	het := platform.RandomFullyHeterogeneous(rng, 4, 1, 10, 0.05, 0.95, 1, 20)
+	if sm := NewSuffixMemo(p, het, 0); sm != nil {
+		t.Error("heterogeneous platform produced a suffix memo")
+	}
+	hom := platform.RandomCommHomogeneous(rng, 8, 1, 10, 0.05, 0.95, 2)
+	if sm := NewSuffixMemo(p, hom, 2); sm != nil {
+		t.Errorf("memo built despite a %d-entry table cap of 2", sm.Entries())
+	}
+	if sm := NewSuffixMemo(p, hom, 0); sm == nil {
+		t.Error("no memo for a small comm-hom instance under the default cap")
+	}
+}
+
+// TestSuffixMemoEntriesBounded: the default cap keeps the table within
+// DefaultSuffixMemoEntries slots.
+func TestSuffixMemoEntriesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := pipeline.Random(rng, 6, 1, 10, 0, 10)
+	pl := platform.RandomCommHomogeneous(rng, 32, 1, 10, 0.05, 0.95, 2)
+	sm := NewSuffixMemo(p, pl, 0)
+	if sm == nil {
+		return // fold produced too many classes; the gate worked
+	}
+	if sm.Entries() > DefaultSuffixMemoEntries {
+		t.Fatalf("table has %d entries, cap is %d", sm.Entries(), DefaultSuffixMemoEntries)
+	}
+}

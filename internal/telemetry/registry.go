@@ -153,6 +153,27 @@ func (r *Registry) Observe(name string, d time.Duration) {
 	r.Sketch(name).Observe(d)
 }
 
+// CounterValues returns a snapshot of every registered counter whose name
+// starts with prefix ("" selects all), keyed by full name. Nil-safe; an
+// empty result returns a nil map so JSON encoders can omit it.
+func (r *Registry) CounterValues(prefix string) map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out map[string]int64
+	for name, c := range r.counters {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[name] = c.Load()
+		}
+	}
+	return out
+}
+
 // visit hands the caller a name-sorted snapshot of each metric family.
 // Used by the Prometheus exporter; values are read live (atomics), only
 // the key set is copied.

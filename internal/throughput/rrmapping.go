@@ -139,6 +139,12 @@ func (r *RRMapping) Latency(p *pipeline.Pipeline, pl *platform.Platform) (float6
 	if err := r.Validate(p.NumStages(), pl.NumProcs()); err != nil {
 		return 0, err
 	}
+	return r.latency(p, pl), nil
+}
+
+// latency is Latency without the validation walk, for mappings valid by
+// construction (see evaluateTrusted).
+func (r *RRMapping) latency(p *pipeline.Pipeline, pl *platform.Platform) float64 {
 	total := 0.0
 	// Worst first-interval group for the input copies.
 	worstIn := 0.0
@@ -182,7 +188,7 @@ func (r *RRMapping) Latency(p *pipeline.Pipeline, pl *platform.Platform) (float6
 		}
 		total += worst
 	}
-	return total, nil
+	return total
 }
 
 // Period: each group of interval j serves one data set out of G_j, so its
@@ -193,6 +199,12 @@ func (r *RRMapping) Period(p *pipeline.Pipeline, pl *platform.Platform) (float64
 	if err := r.Validate(p.NumStages(), pl.NumProcs()); err != nil {
 		return 0, err
 	}
+	return r.period(p, pl), nil
+}
+
+// period is Period without the validation walk, for mappings valid by
+// construction (see evaluateTrusted).
+func (r *RRMapping) period(p *pipeline.Pipeline, pl *platform.Platform) float64 {
 	period := 0.0
 	upd := func(x float64) {
 		if x > period {
@@ -265,7 +277,7 @@ func (r *RRMapping) Period(p *pipeline.Pipeline, pl *platform.Platform) (float64
 		}
 		_ = iv
 	}
-	return period, nil
+	return period
 }
 
 // electGroupSender returns the worst-case sender of group g of interval
@@ -309,15 +321,23 @@ type Metrics struct {
 
 // Evaluate computes all three criteria.
 func (r *RRMapping) Evaluate(p *pipeline.Pipeline, pl *platform.Platform) (Metrics, error) {
-	lat, err := r.Latency(p, pl)
-	if err != nil {
+	if err := r.Validate(p.NumStages(), pl.NumProcs()); err != nil {
 		return Metrics{}, err
 	}
-	per, err := r.Period(p, pl)
-	if err != nil {
-		return Metrics{}, err
+	return r.evaluateTrusted(p, pl), nil
+}
+
+// evaluateTrusted is Evaluate for mappings known valid by construction —
+// the grouping sweeps enumerate set partitions of interval mappings the
+// engine already validated, so re-walking every replica set (and
+// allocating Validate's seen-map) once per grouping would dominate sweep
+// time. Metric values are identical to Evaluate's.
+func (r *RRMapping) evaluateTrusted(p *pipeline.Pipeline, pl *platform.Platform) Metrics {
+	return Metrics{
+		Latency:     r.latency(p, pl),
+		FailureProb: r.FailureProb(pl),
+		Period:      r.period(p, pl),
 	}
-	return Metrics{Latency: lat, FailureProb: r.FailureProb(pl), Period: per}, nil
 }
 
 // Dominates is three-way Pareto dominance (all ≤, one <).

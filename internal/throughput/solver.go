@@ -168,16 +168,18 @@ func triBetter(a Metrics, taskA int64, b Metrics, taskB int64) bool {
 func MinPeriodUnderConstraints(p *pipeline.Pipeline, pl *platform.Platform, maxLatency, maxFailProb float64, opts exact.Options) (TriResult, error) {
 	opts.Replication = true
 	guard := newRRGuard(opts)
+	// The FP filter below is monotone in added groups (each group multiplies
+	// the success product by a factor ≤ 1), so the sweep prunes grouping
+	// subtrees as soon as their prefix FP already exceeds the threshold —
+	// identical survivors, pruned subtrees uncharged (like the B&B engine).
+	fpCap := maxFailProb + 1e-12
 	bests := make([]triBest, opts.WorkerCount())
 	runErr := exact.ForEachMappingParallel(p.NumStages(), pl.NumProcs(), opts, func(w int) func(int64, *mapping.Mapping) bool {
 		wb := &bests[w]
 		return func(task int64, m *mapping.Mapping) bool {
-			return enumerateGroupings(m, 0, FromMapping(m), guard, func(r *RRMapping) {
-				met, err := r.Evaluate(p, pl)
-				if err != nil {
-					return
-				}
-				if !leqTol(met.Latency, maxLatency) || met.FailureProb > maxFailProb+1e-12 {
+			return enumerateGroupings(m, 0, 1, FromMapping(m), guard, pl, fpCap, func(r *RRMapping) {
+				met := r.evaluateTrusted(p, pl)
+				if !leqTol(met.Latency, maxLatency) || met.FailureProb > fpCap {
 					return
 				}
 				if !wb.found || triBetter(met, task, wb.res.Metrics, wb.task) {
@@ -221,12 +223,8 @@ func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) 
 		front := &TriFront{}
 		fronts[w] = front
 		return func(task int64, m *mapping.Mapping) bool {
-			return enumerateGroupings(m, 0, FromMapping(m), guard, func(r *RRMapping) {
-				met, err := r.Evaluate(p, pl)
-				if err != nil {
-					return
-				}
-				front.InsertTagged(met, r, task)
+			return enumerateGroupings(m, 0, 1, FromMapping(m), guard, nil, 1, func(r *RRMapping) {
+				front.InsertTagged(r.evaluateTrusted(p, pl), r, task)
 			})
 		}
 	})
@@ -252,7 +250,16 @@ func TriPareto(p *pipeline.Pipeline, pl *platform.Platform, opts exact.Options) 
 // grouping against the guard. It reports whether the sweep ran to
 // completion (false: budget tripped or canceled — stop the mapping
 // enumeration too).
-func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, guard *rrGuard, visit func(*RRMapping)) bool {
+//
+// succ is the success product of the groups chosen for intervals [0, j);
+// when pl is non-nil, subtrees whose prefix failure probability 1−succ
+// already exceeds fpCap are skipped: FP only grows as groups are added
+// (each multiplies the success product by a factor in [0, 1]), so every
+// grouping below would fail the caller's FP filter. The prefix uses the
+// same per-group products in the same order as RRMapping.FailureProb,
+// making the prune float-consistent with the filter it anticipates.
+// Callers not filtering on FP pass pl == nil (and succ 1, fpCap 1).
+func enumerateGroupings(m *mapping.Mapping, j int, succ float64, r *RRMapping, guard *rrGuard, pl *platform.Platform, fpCap float64, visit func(*RRMapping)) bool {
 	if j == len(m.Alloc) {
 		if !guard.step() {
 			return false
@@ -261,8 +268,21 @@ func enumerateGroupings(m *mapping.Mapping, j int, r *RRMapping, guard *rrGuard,
 		return true
 	}
 	ok := forEachGrouping(m.Alloc[j], func(groups [][]int) bool {
+		nsucc := succ
+		if pl != nil {
+			for _, g := range groups {
+				q := 1.0
+				for _, u := range g {
+					q *= pl.FailProb[u]
+				}
+				nsucc *= 1 - q
+			}
+			if 1-nsucc > fpCap {
+				return true // FP already violated; deeper groups only raise it
+			}
+		}
 		r.Groups[j] = groups
-		return enumerateGroupings(m, j+1, r, guard, visit)
+		return enumerateGroupings(m, j+1, nsucc, r, guard, pl, fpCap, visit)
 	})
 	r.Groups[j] = [][]int{m.Alloc[j]}
 	return ok

@@ -104,18 +104,29 @@ if [[ "${1:-}" == "-compare" ]]; then
                     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
                 } else {
                     newNs[name] = ns; newAllocs[name] = allocs
+                    if (!(name in seenNew)) { orderNew[++nn] = name; seenNew[name] = 1 }
                 }
             }
             END {
+                # One-sided rows keep all five columns: a benchmark present
+                # in only one snapshot renders with "-" placeholders instead
+                # of dropping fields, so the table stays aligned and
+                # machine-splittable.
                 printf "%-44s %14s %14s %9s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new"
                 for (i = 1; i <= n; i++) {
                     name = order[i]
-                    if (!(name in newNs)) { printf "%-44s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone"; continue }
+                    if (!(name in newNs)) {
+                        printf "%-44s %14.0f %14s %9s %18s\n", name, oldNs[name], "-", "gone", oldAllocs[name] "→-"
+                        continue
+                    }
                     d = (newNs[name] - oldNs[name]) / oldNs[name] * 100
                     printf "%-44s %14.0f %14.0f %+8.1f%% %18s\n", name, oldNs[name], newNs[name], d, oldAllocs[name] "→" newAllocs[name]
                 }
-                for (name in newNs) if (!(name in oldNs))
-                    printf "%-44s %14s %14.0f %9s\n", name, "-", newNs[name], "new"
+                for (i = 1; i <= nn; i++) {
+                    name = orderNew[i]
+                    if (name in oldNs) continue
+                    printf "%-44s %14s %14.0f %9s %18s\n", name, "-", newNs[name], "new", "-→" newAllocs[name]
+                }
             }'
     exit 0
 fi

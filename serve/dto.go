@@ -162,6 +162,12 @@ type Stats struct {
 	SolutionEvicted int64 `json:"solutionEvicted"` // answers evicted by the LRU
 	Translations    int64 `json:"translations"`    // mappings relabeled through a non-identity permutation
 
+	// Engine holds the exact-search counters (prefix "exact_"): nodes
+	// scored, incumbent prunes, suffix-memo hits/misses, batch-evaluation
+	// calls and candidates, runs and enumerated mappings — the same series
+	// /metrics exports. Absent until the first exact solve.
+	Engine map[string]int64 `json:"engine,omitempty"`
+
 	// RouteSkips counts, per route, the adaptive router's decisions to
 	// skip a route whose warm p95 latency did not fit the request's
 	// remaining deadline budget. Absent until the first skip.

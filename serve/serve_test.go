@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -124,6 +125,51 @@ func TestBatchSolveEndToEnd(t *testing.T) {
 	}
 	if stats.CacheMisses != 1 || stats.CacheHits != 2 {
 		t.Errorf("cache hits/misses = %d/%d, want 2/1 (one warm session reused)", stats.CacheHits, stats.CacheMisses)
+	}
+}
+
+// TestStatsEngineCounters: an exact-route solve must surface the search
+// engine's counters in the stats Engine map and on /metrics. The fully
+// heterogeneous instance skips the poly and DP routes and lands in the
+// branch-and-bound, which registers the whole counter family on its
+// first run. The replication solver behind this route scores candidates
+// one at a time, so the batch and memo series are asserted present
+// (registered at zero) rather than incremented — the batch path's >=1
+// coverage lives in the engine and benchmark suites.
+func TestStatsEngineCounters(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+
+	preStats := decodeBody[Stats](t, mustGet(t, srv, "/v1/stats"))
+	if preStats.Engine != nil {
+		t.Fatalf("engine counters = %v before any exact solve, want absent", preStats.Engine)
+	}
+
+	res := decodeBody[SolveResult](t, postJSON(t, srv, "/v1/solve", hetInstanceSpec(t, "")))
+	if res.Error != "" || res.Route != "exact" {
+		t.Fatalf("result = %+v, want an exact-route answer", res)
+	}
+
+	stats := decodeBody[Stats](t, mustGet(t, srv, "/v1/stats"))
+	for _, name := range []string{"exact_runs_total", "exact_nodes_total"} {
+		if stats.Engine[name] < 1 {
+			t.Errorf("engine counters = %v, want %s >= 1", stats.Engine, name)
+		}
+	}
+	for _, name := range []string{"exact_batch_calls_total", "exact_batch_candidates_total", "exact_incumbent_prunes_total", "exact_memo_hits_total", "exact_memo_misses_total"} {
+		if _, ok := stats.Engine[name]; !ok {
+			t.Errorf("engine counters = %v, want the %s series present", stats.Engine, name)
+		}
+	}
+
+	resp := mustGet(t, srv, "/metrics")
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "exact_nodes_total") {
+		t.Error("/metrics does not export the exact-search counters")
 	}
 }
 

@@ -264,6 +264,7 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.solutions != nil {
 		st.SolutionEvicted, st.SolutionSize = s.solutions.stats()
 	}
+	st.Engine = s.rec.CounterValues("exact_")
 	for _, route := range telemetry.Routes() {
 		if n := s.rec.RouteSkips(route); n > 0 {
 			if st.RouteSkips == nil {
